@@ -1,0 +1,205 @@
+// Command rrmp-figures regenerates every figure in the paper's evaluation
+// (§4) and the DESIGN.md ablations, printing the series as aligned text
+// tables.
+//
+// Usage:
+//
+//	rrmp-figures [-fig 3|4|6|7|8|9|A1|A2|A3|A4|A5|A6|all] [-runs N] [-seed S]
+//
+// Run counts trade precision for time; the defaults regenerate each figure
+// in a few seconds. Output units match the paper's axes (milliseconds,
+// percent).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,6,7,8,9,A1..A6 or all")
+	runs := flag.Int("runs", 0, "runs to average per data point (0 = per-figure default)")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	flag.Parse()
+
+	if err := run(*fig, *runs, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "rrmp-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, runs int, seed uint64) error {
+	want := func(name string) bool { return fig == "all" || strings.EqualFold(fig, name) }
+	or := func(def int) int {
+		if runs > 0 {
+			return runs
+		}
+		return def
+	}
+	any := false
+
+	if want("3") {
+		any = true
+		header("Figure 3 — P(k long-term bufferers), region n=100")
+		series := repro.Figure3([]float64{5, 6, 7, 8}, 100, 20*or(1000), seed)
+		printSeriesTable("k", series)
+	}
+	if want("4") {
+		any = true
+		header("Figure 4 — P(no long-term bufferer) vs C (percent)")
+		series := repro.Figure4([]float64{1, 2, 3, 4, 5, 6}, 100, 100*or(1000), seed)
+		printSeriesTable("C", series)
+	}
+	if want("6") {
+		any = true
+		header("Figure 6 — mean buffering time vs #initial holders (n=100, T=40ms)")
+		s, err := repro.Figure6(or(20), seed)
+		if err != nil {
+			return err
+		}
+		printSeriesTable("#holders", []repro.Series{s})
+	}
+	if want("7") {
+		any = true
+		header("Figure 7 — #received vs #buffered over time (1 initial holder, n=100)")
+		s, err := repro.Figure7(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10s %10s %10s\n", "t(ms)", "#received", "#buffered")
+		for i := range s.TimesMs {
+			if i%5 != 0 && i != len(s.TimesMs)-1 {
+				continue // print every 5 ms
+			}
+			fmt.Printf("%10.0f %10d %10d\n", s.TimesMs[i], s.Received[i], s.Buffered[i])
+		}
+	}
+	if want("8") {
+		any = true
+		header("Figure 8 — search time vs #bufferers (n=100)")
+		s, err := repro.Figure8(or(100), seed)
+		if err != nil {
+			return err
+		}
+		printSeriesTable("#bufferers", []repro.Series{s})
+	}
+	if want("9") {
+		any = true
+		header("Figure 9 — search time vs region size (B=10)")
+		s, err := repro.Figure9(or(100), seed)
+		if err != nil {
+			return err
+		}
+		printSeriesTable("region", []repro.Series{s})
+	}
+	if want("A1") {
+		any = true
+		header("Ablation A1 — buffering policy cost (n=100, 30 msgs, 10% loss)")
+		rows, err := repro.AblationPolicies(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %10s %14s %8s %12s\n", "policy", "delivery", "buf(msg·s)", "peak", "mean-buf(ms)")
+		for _, r := range rows {
+			fmt.Printf("%-18s %9.2f%% %14.1f %8d %12.1f\n",
+				r.Policy, 100*r.DeliveryRatio, r.BufferIntegral, r.PeakPerMember, r.MeanBufferingMs)
+		}
+	}
+	if want("A2") {
+		any = true
+		header("Ablation A2 — buffering load balance, RRMP vs tree repair server")
+		rows, err := repro.AblationLoadBalance(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %12s %12s %10s %10s\n", "protocol", "mean(msg·s)", "max(msg·s)", "max/mean", "max-share")
+		for _, r := range rows {
+			fmt.Printf("%-20s %12.2f %12.2f %10.1f %9.0f%%\n",
+				r.Protocol, r.MeanIntegral, r.MaxIntegral, r.Imbalance, 100*r.MaxShare)
+		}
+	}
+	if want("A3") {
+		any = true
+		header("Ablation A3 — search reply implosion (replies per remote request)")
+		rows, err := repro.AblationSearchImplosion(or(10), seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %10s %12s\n", "mode", "#holders", "replies")
+		for _, r := range rows {
+			fmt.Printf("%-18s %10d %12.1f\n", r.Mode, r.Holders, r.RepliesPerEpisode)
+		}
+	}
+	if want("A4") {
+		any = true
+		header("Ablation A4 — churn: graceful handoff vs crash of all bufferers")
+		rows, err := repro.AblationChurn(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %10s %14s %10s\n", "mode", "recovered", "recovery(ms)", "handoffs")
+		for _, r := range rows {
+			fmt.Printf("%-18s %10v %14.1f %10d\n", r.Mode, r.Recovered, r.RecoveryMs, r.Handoffs)
+		}
+	}
+	if want("A5") {
+		any = true
+		header("Ablation A5 — remote recovery λ sweep (region-wide loss, 50 members)")
+		rows, err := repro.AblationLambda([]float64{0.5, 1, 2, 4, 8}, or(10), seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8s %14s %14s\n", "lambda", "remote-reqs", "recovery(ms)")
+		for _, r := range rows {
+			fmt.Printf("%8.1f %14.1f %14.1f\n", r.Lambda, r.RemoteRequests, r.RecoveryMs)
+		}
+	}
+	if want("A6") {
+		any = true
+		header("Ablation A6 — control traffic: implicit feedback vs stability digests")
+		rows, err := repro.AblationStabilityTraffic(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %14s %14s %14s %10s\n", "scheme", "digest(B)", "control(B)", "buf(msg·s)", "delivery")
+		for _, r := range rows {
+			fmt.Printf("%-22s %14d %14d %14.1f %9.2f%%\n",
+				r.Scheme, r.DigestBytes, r.ControlBytes, r.BufferIntegral, 100*r.DeliveryRatio)
+		}
+	}
+	if !any {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("-", len(title)))
+}
+
+// printSeriesTable prints multiple series sharing an x axis.
+func printSeriesTable(xName string, series []repro.Series) {
+	fmt.Printf("%12s", xName)
+	for _, s := range series {
+		fmt.Printf(" %26s", s.Name)
+	}
+	fmt.Println()
+	if len(series) == 0 || len(series[0].X) == 0 {
+		return
+	}
+	for i := range series[0].X {
+		fmt.Printf("%12g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Printf(" %26.2f", s.Y[i])
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,98 @@
+// Churn: receivers join and leave a long-lived session while the stream
+// flows. Demonstrates §3.2's leave protocol — a departing member transfers
+// every long-term buffered message to randomly selected peers, so losses
+// stay recoverable even after all original bufferers are gone.
+//
+// The run compares two worlds on the same seed:
+//
+//   - graceful: the bufferers call Leave() and hand their copies off;
+//     a straggler that missed the message recovers it afterwards.
+//
+//   - crash:    the same members crash; the straggler's loss is permanent
+//     (the paper's §5 limitation made concrete).
+//
+//     go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	for _, graceful := range []bool{true, false} {
+		mode := "graceful leave (with handoff)"
+		if !graceful {
+			mode = "crash (no handoff)"
+		}
+		fmt.Printf("=== %s ===\n", mode)
+		run(graceful)
+		fmt.Println()
+	}
+}
+
+func run(graceful bool) {
+	params := repro.DefaultParams()
+	params.LongTermTTL = 0 // keep long-term copies for the whole session
+	g, err := repro.NewGroup(
+		repro.WithRegions(30),
+		repro.WithParams(params),
+		repro.WithSeed(11),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The sender publishes one message that member 29 (our straggler)
+	// never receives: everyone else gets it, goes idle, and only a few
+	// long-term bufferers keep copies.
+	straggler := repro.NodeID(29)
+	id := repro.MessageID{Source: g.SenderID(), Seq: 1}
+	bufferers := []repro.NodeID{5, 12, 20}
+	for n := repro.NodeID(0); n < 29; n++ {
+		isBufferer := false
+		for _, b := range bufferers {
+			if n == b {
+				isBufferer = true
+			}
+		}
+		if isBufferer {
+			g.Member(n).InjectLongTerm(id, []byte("session-state"))
+		} else {
+			g.Member(n).InjectDiscarded(id)
+		}
+	}
+	fmt.Printf("message %v held long-term by members %v; member %d missed it\n", id, bufferers, straggler)
+
+	// All bufferers depart at t=0.
+	for _, b := range bufferers {
+		b := b
+		if graceful {
+			g.At(0, func() { g.Leave(b) })
+		} else {
+			g.At(0, func() { g.Crash(b) })
+		}
+	}
+	// The straggler detects its loss at t=100ms and runs local recovery.
+	g.At(100*time.Millisecond, func() { g.Member(straggler).StartRecovery(id) })
+	g.Run(10 * time.Second)
+
+	holders := 0
+	for n := repro.NodeID(0); n < repro.NodeID(g.NumMembers()); n++ {
+		if g.Member(n).Buffer().Has(id) {
+			holders++
+		}
+	}
+	s := g.Stats()
+	fmt.Printf("after departure: %d members hold the message (handoffs sent: %d)\n", holders, s.Handoffs)
+	if g.Member(straggler).HasReceived(id) {
+		fmt.Printf("straggler recovered the message in %.1f ms after %d requests\n",
+			g.Member(straggler).Metrics().RecoveryLatency.Mean(),
+			g.Member(straggler).Metrics().LocalReqSent.Value())
+	} else {
+		fmt.Printf("straggler NEVER recovered: all copies died with the crashed bufferers\n")
+	}
+}

@@ -1,0 +1,75 @@
+// Stock ticker: a high-rate data feed (the classic reliable-multicast
+// workload) streamed to a 100-member region, comparing what three
+// buffering policies pay in memory for the same reliability.
+//
+// The ticker publishes 200 quotes at 5 ms intervals with 10% receiver
+// loss. Under the paper's two-phase policy, each member holds a quote only
+// while requests still arrive (T = 40 ms of quiet) and then ~C/n of them
+// keep long-term copies; the fixed-hold and buffer-all baselines pay far
+// more for the same delivery.
+//
+//	go run ./examples/stockticker
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+type policyChoice struct {
+	name string
+	opts []repro.Option
+}
+
+func main() {
+	const (
+		quotes = 200
+		rate   = 5 * time.Millisecond
+	)
+	params := repro.DefaultParams()
+	params.LongTermTTL = time.Second
+
+	choices := []policyChoice{
+		{"two-phase (paper)", []repro.Option{repro.WithPolicy(repro.PolicyTwoPhase)}},
+		{"fixed-hold 1s", []repro.Option{repro.WithPolicy(repro.PolicyFixedHold), repro.WithFixedHold(time.Second)}},
+		{"buffer-all", []repro.Option{repro.WithPolicy(repro.PolicyBufferAll)}},
+	}
+
+	fmt.Printf("%-20s %10s %14s %12s %14s\n",
+		"policy", "delivered", "buf(msg·s)", "peak/member", "mean-hold(ms)")
+	for _, choice := range choices {
+		opts := append([]repro.Option{
+			repro.WithRegions(100),
+			repro.WithParams(params),
+			repro.WithDataLoss(0.10),
+			repro.WithSeed(99),
+		}, choice.opts...)
+		g, err := repro.NewGroup(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g.StartSessions()
+		for i := 0; i < quotes; i++ {
+			i := i
+			g.At(time.Duration(i)*rate, func() {
+				g.Publish([]byte(fmt.Sprintf("ACME %d.%02d", 100+i/100, i%100)))
+			})
+		}
+		g.Run(4 * time.Second)
+
+		s := g.Stats()
+		peak := 0
+		for _, m := range g.Members() {
+			if p := m.Buffer().PeakLen(); p > peak {
+				peak = p
+			}
+		}
+		deliveryPct := 100 * float64(s.Delivered) / float64(quotes*g.NumMembers())
+		fmt.Printf("%-20s %9.2f%% %14.1f %12d %14.1f\n",
+			choice.name, deliveryPct, s.BufferIntegral, peak, s.MeanBufferingMs)
+	}
+	fmt.Println("\nSame feed, same loss, same delivery — two-phase buffers a fraction of the baselines.")
+}

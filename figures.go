@@ -1,0 +1,102 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Series is one named curve of an experiment (paired X/Y points in the
+// figure's units).
+type Series = runner.Series
+
+// Fig7Series is Figure 7's sampled output.
+type Fig7Series = runner.Fig7Series
+
+// Experiment result row types, re-exported from the runner.
+type (
+	// PolicyComparison is an A1 row.
+	PolicyComparison = runner.PolicyComparison
+	// LoadBalance is an A2 row.
+	LoadBalance = runner.LoadBalance
+	// SearchImplosion is an A3 row.
+	SearchImplosion = runner.SearchImplosion
+	// ChurnResult is an A4 row.
+	ChurnResult = runner.ChurnResult
+	// LambdaPoint is an A5 row.
+	LambdaPoint = runner.LambdaPoint
+	// OverheadResult is an A6 row.
+	OverheadResult = runner.OverheadResult
+	// SearchConfig parameterizes RunSearch.
+	SearchConfig = runner.SearchConfig
+	// SearchResult is RunSearch's aggregate.
+	SearchResult = runner.SearchResult
+)
+
+// Figure3 regenerates the paper's Figure 3: P(k long-term bufferers) for
+// each C, analytic Poisson plus Monte Carlo election over a region of n.
+func Figure3(cs []float64, n, trials int, seed uint64) []Series {
+	return runner.Figure3(cs, n, trials, seed)
+}
+
+// Figure4 regenerates Figure 4: P(no long-term bufferer) versus C.
+func Figure4(cs []float64, n, trials int, seed uint64) []Series {
+	return runner.Figure4(cs, n, trials, seed)
+}
+
+// Figure6 regenerates Figure 6: mean feedback-based buffering time versus
+// the number of initial holders (region of 100, T = 40 ms).
+func Figure6(runs int, seed uint64) (Series, error) {
+	cfg := runner.DefaultFig6Config()
+	cfg.Runs = runs
+	cfg.Seed = seed
+	return runner.Figure6(cfg)
+}
+
+// Figure7 regenerates Figure 7: #received vs #buffered over time from one
+// initial holder in a 100-member region. The horizon extends past the
+// paper's 140 ms x-range so the buffered count's collapse to zero is
+// visible in full.
+func Figure7(seed uint64) (Fig7Series, error) {
+	return runner.Figure7(100, seed, time.Millisecond, 250*time.Millisecond)
+}
+
+// Figure8 regenerates Figure 8: mean search time versus bufferer count.
+func Figure8(runs int, seed uint64) (Series, error) { return runner.Figure8(runs, seed) }
+
+// Figure9 regenerates Figure 9: mean search time versus region size.
+func Figure9(runs int, seed uint64) (Series, error) { return runner.Figure9(runs, seed) }
+
+// RunSearch runs one search-time configuration (the Figures 8/9 kernel,
+// including the deterministic §3.4 variant).
+func RunSearch(cfg SearchConfig) (SearchResult, error) { return runner.RunSearch(cfg) }
+
+// AblationPolicies runs A1: buffering-policy cost vs reliability.
+func AblationPolicies(seed uint64) ([]PolicyComparison, error) {
+	return runner.AblationPolicies(seed)
+}
+
+// AblationLoadBalance runs A2: buffering load spread, RRMP vs tree.
+func AblationLoadBalance(seed uint64) ([]LoadBalance, error) {
+	return runner.AblationLoadBalance(seed)
+}
+
+// AblationSearchImplosion runs A3: multicast-query reply implosion vs the
+// random walk.
+func AblationSearchImplosion(runs int, seed uint64) ([]SearchImplosion, error) {
+	return runner.AblationSearchImplosion(runs, seed)
+}
+
+// AblationChurn runs A4: graceful handoff vs crash of all bufferers.
+func AblationChurn(seed uint64) ([]ChurnResult, error) { return runner.AblationChurn(seed) }
+
+// AblationLambda runs A5: the λ remote-recovery tradeoff.
+func AblationLambda(lambdas []float64, runs int, seed uint64) ([]LambdaPoint, error) {
+	return runner.AblationLambda(lambdas, runs, seed)
+}
+
+// AblationStabilityTraffic runs A6: implicit feedback vs explicit
+// stability-detection digests.
+func AblationStabilityTraffic(seed uint64) ([]OverheadResult, error) {
+	return runner.AblationStabilityTraffic(seed)
+}

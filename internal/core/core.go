@@ -1,0 +1,381 @@
+// Package core implements the paper's primary contribution: the two-phase
+// buffer management algorithm for reliable multicast (§3).
+//
+// A Buffer holds received messages and decides, per message, how long to
+// keep them:
+//
+//   - Short term (§3.1, feedback-based): every received message is buffered
+//     until it has been idle — no retransmission request observed — for an
+//     idle threshold T. Each incoming request is implicit feedback that
+//     members of the region still miss the message, so the idle timer
+//     re-arms. P(no request | fraction p missing) ≈ e^(−p), so a quiet
+//     interval of a few RTTs implies the region has the message.
+//
+//   - Long term (§3.2, randomized): when a message becomes idle the member
+//     elects itself a long-term bufferer with probability C/n, making the
+//     number of long-term bufferers per region Binomial(n, C/n) ≈
+//     Poisson(C). Long-term copies serve stragglers and downstream regions
+//     and are handed off to a random peer when a member leaves voluntarily.
+//
+// The Buffer is a pure state machine over an injected clock.Scheduler: it
+// performs no I/O and is driven entirely by Store / OnRequest / timer
+// events, which is what lets every buffering policy (the paper's and the
+// baselines') run inside the identical protocol engine, both simulated and
+// on real sockets.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// State is the retention phase of a buffered entry.
+type State int
+
+// Entry states.
+const (
+	StateShortTerm State = iota + 1
+	StateLongTerm
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateShortTerm:
+		return "short-term"
+	case StateLongTerm:
+		return "long-term"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// EvictReason says why an entry left the buffer.
+type EvictReason int
+
+// Eviction reasons.
+const (
+	EvictIdle    EvictReason = iota + 1 // idle and not elected long-term
+	EvictTTL                            // long-term copy aged out unused
+	EvictHandoff                        // transferred to a peer on leave
+	EvictStable                         // external stability notification
+	EvictManual                         // removed by caller
+)
+
+// String implements fmt.Stringer.
+func (r EvictReason) String() string {
+	switch r {
+	case EvictIdle:
+		return "idle"
+	case EvictTTL:
+		return "ttl"
+	case EvictHandoff:
+		return "handoff"
+	case EvictStable:
+		return "stable"
+	case EvictManual:
+		return "manual"
+	default:
+		return fmt.Sprintf("EvictReason(%d)", int(r))
+	}
+}
+
+// Entry is one buffered message.
+type Entry struct {
+	ID      wire.MessageID
+	Payload []byte
+	// StoredAt is when the message entered this buffer.
+	StoredAt time.Duration
+	// LastRequest is the last time a retransmission request (or another
+	// buffer "use", such as answering a search) touched this entry; it
+	// equals StoredAt until the first request.
+	LastRequest time.Duration
+	// State is the current retention phase.
+	State State
+	// PromotedAt is when the entry became long-term (zero until then).
+	PromotedAt time.Duration
+
+	timer clock.Timer // idle timer in short-term, TTL timer in long-term
+}
+
+// Config assembles a Buffer's dependencies.
+type Config struct {
+	// Policy decides retention; use NewTwoPhase for the paper's algorithm.
+	Policy Policy
+	// Sched supplies time and timers (virtual in simulation, real on UDP).
+	Sched clock.Scheduler
+	// Rng drives randomized election. Required by randomized policies.
+	Rng *rng.Source
+	// OnEvict, if set, observes every eviction.
+	OnEvict func(e *Entry, reason EvictReason)
+	// OnPromote, if set, observes long-term elections.
+	OnPromote func(e *Entry)
+}
+
+// Buffer is the per-member message store managed by a buffering policy.
+// It is not safe for concurrent use; drive it from one goroutine (the
+// simulator loop or a member's executor).
+type Buffer struct {
+	cfg     Config
+	entries map[wire.MessageID]*Entry
+
+	occupancy stats.Occupancy // message-count step function over time
+	byteOcc   stats.Occupancy // payload-byte step function over time
+	bytes     int             // current payload bytes held
+	longCount int
+	evicted   map[EvictReason]int
+}
+
+// NewBuffer constructs an empty buffer. It panics on a missing policy or
+// scheduler since both are programming errors, not runtime conditions.
+func NewBuffer(cfg Config) *Buffer {
+	if cfg.Policy == nil {
+		panic("core: Config.Policy is required")
+	}
+	if cfg.Sched == nil {
+		panic("core: Config.Sched is required")
+	}
+	return &Buffer{
+		cfg:     cfg,
+		entries: make(map[wire.MessageID]*Entry),
+		evicted: make(map[EvictReason]int),
+	}
+}
+
+// Len returns the number of buffered entries (both phases).
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// LongTermCount returns the number of entries in the long-term phase.
+func (b *Buffer) LongTermCount() int { return b.longCount }
+
+// ShortTermCount returns the number of entries in the short-term phase.
+func (b *Buffer) ShortTermCount() int { return len(b.entries) - b.longCount }
+
+// EvictedCount returns how many entries have been evicted for the reason.
+func (b *Buffer) EvictedCount(r EvictReason) int { return b.evicted[r] }
+
+// Has reports whether id is currently buffered.
+func (b *Buffer) Has(id wire.MessageID) bool {
+	_, ok := b.entries[id]
+	return ok
+}
+
+// Get returns the entry for id if buffered.
+func (b *Buffer) Get(id wire.MessageID) (*Entry, bool) {
+	e, ok := b.entries[id]
+	return e, ok
+}
+
+// Entries returns a snapshot of all buffered entries (callers own the
+// slice; the pointed-to entries remain live).
+func (b *Buffer) Entries() []*Entry {
+	out := make([]*Entry, 0, len(b.entries))
+	for _, e := range b.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Store buffers a message under the configured policy. Storing an
+// already-buffered id is a no-op returning the existing entry (duplicate
+// repairs are common under multicast). The returned entry is live.
+func (b *Buffer) Store(id wire.MessageID, payload []byte) *Entry {
+	if e, ok := b.entries[id]; ok {
+		return e
+	}
+	now := b.cfg.Sched.Now()
+	e := &Entry{
+		ID:          id,
+		Payload:     payload,
+		StoredAt:    now,
+		LastRequest: now,
+		State:       StateShortTerm,
+	}
+	b.entries[id] = e
+	b.bytes += len(e.Payload)
+	b.account(now)
+
+	hold, _ := b.cfg.Policy.Hold(id)
+	if hold > 0 {
+		e.timer = b.cfg.Sched.After(hold, func() { b.idleCheck(e) })
+	}
+	// hold == 0 means "never idles": retention until external removal
+	// (buffer-all / stability-detection baselines).
+	return e
+}
+
+// StoreLongTerm buffers a message directly in the long-term phase. It is
+// used when receiving a handoff from a leaving peer: the transferred copy
+// already survived its idle phase at the giver. Duplicate ids keep the
+// existing entry but lift it to long-term if it was short-term.
+func (b *Buffer) StoreLongTerm(id wire.MessageID, payload []byte) *Entry {
+	if e, ok := b.entries[id]; ok {
+		if e.State != StateLongTerm {
+			b.promote(e)
+		}
+		return e
+	}
+	e := b.Store(id, payload)
+	if e.State != StateLongTerm {
+		b.promote(e)
+	}
+	return e
+}
+
+// OnRequest records that a retransmission request (or any other buffer use,
+// such as serving a search) touched id. For feedback-based policies this
+// re-arms the idle clock; for long-term entries it re-arms the TTL. It
+// returns false if id is not buffered.
+func (b *Buffer) OnRequest(id wire.MessageID) bool {
+	e, ok := b.entries[id]
+	if !ok {
+		return false
+	}
+	e.LastRequest = b.cfg.Sched.Now()
+	return true
+}
+
+// Remove evicts id for an externally decided reason (stability detection,
+// manual trimming). It returns false if id was not buffered.
+func (b *Buffer) Remove(id wire.MessageID, reason EvictReason) bool {
+	e, ok := b.entries[id]
+	if !ok {
+		return false
+	}
+	b.evict(e, reason)
+	return true
+}
+
+// TakeForHandoff removes and returns all long-term entries, for transfer to
+// peers when this member leaves the group voluntarily (§3.2). Short-term
+// entries are dropped at the same time: a leaving member no longer answers
+// requests.
+func (b *Buffer) TakeForHandoff() []*Entry {
+	var out []*Entry
+	for _, e := range b.Entries() {
+		if e.State == StateLongTerm {
+			out = append(out, e)
+			b.evict(e, EvictHandoff)
+		} else {
+			b.evict(e, EvictManual)
+		}
+	}
+	return out
+}
+
+// Close stops all timers and drops all entries without eviction callbacks.
+func (b *Buffer) Close() {
+	for _, e := range b.entries {
+		if e.timer != nil {
+			e.timer.Stop()
+		}
+	}
+	b.entries = make(map[wire.MessageID]*Entry)
+	b.longCount = 0
+	b.bytes = 0
+	b.account(b.cfg.Sched.Now())
+}
+
+// OccupancyIntegral returns the accumulated messages × seconds up to now;
+// the A1 ablation compares policies on this buffer-cost measure.
+func (b *Buffer) OccupancyIntegral(now time.Duration) float64 {
+	return b.occupancy.Integral(now)
+}
+
+// ByteOccupancyIntegral returns accumulated payload-bytes × seconds.
+func (b *Buffer) ByteOccupancyIntegral(now time.Duration) float64 {
+	return b.byteOcc.Integral(now)
+}
+
+// PeakLen returns the highest entry count ever held.
+func (b *Buffer) PeakLen() int { return int(b.occupancy.Peak()) }
+
+// idleCheck runs when an entry's idle timer fires: if a request arrived in
+// the meantime (feedback), re-arm; otherwise ask the policy for the
+// idle-time decision.
+func (b *Buffer) idleCheck(e *Entry) {
+	if b.entries[e.ID] != e {
+		return // already evicted
+	}
+	now := b.cfg.Sched.Now()
+	hold, resetOnRequest := b.cfg.Policy.Hold(e.ID)
+	if resetOnRequest {
+		quietFor := now - e.LastRequest
+		if quietFor < hold {
+			// A request arrived during the hold window: the message is not
+			// idle yet. Sleep exactly until the earliest instant it could
+			// become idle.
+			e.timer = b.cfg.Sched.After(hold-quietFor, func() { b.idleCheck(e) })
+			return
+		}
+	}
+	switch d := b.cfg.Policy.OnIdle(e.ID, b.cfg.Rng); d {
+	case Discard:
+		b.evict(e, EvictIdle)
+	case PromoteLongTerm:
+		b.promote(e)
+	default:
+		panic(fmt.Sprintf("core: policy %q returned invalid decision %d", b.cfg.Policy.Name(), d))
+	}
+}
+
+// promote moves an entry to the long-term phase and arms its TTL.
+func (b *Buffer) promote(e *Entry) {
+	if e.timer != nil {
+		e.timer.Stop()
+		e.timer = nil
+	}
+	e.State = StateLongTerm
+	e.PromotedAt = b.cfg.Sched.Now()
+	b.longCount++
+	if ttl := b.cfg.Policy.LongTermTTL(); ttl > 0 {
+		e.timer = b.cfg.Sched.After(ttl, func() { b.ttlCheck(e) })
+	}
+	if b.cfg.OnPromote != nil {
+		b.cfg.OnPromote(e)
+	}
+}
+
+// ttlCheck ages out a long-term entry once it has gone unused for the TTL
+// ("eventually even a long-term bufferer may decide to discard an idle
+// message", §3.2). A use re-arms, mirroring the idle logic.
+func (b *Buffer) ttlCheck(e *Entry) {
+	if b.entries[e.ID] != e {
+		return
+	}
+	now := b.cfg.Sched.Now()
+	ttl := b.cfg.Policy.LongTermTTL()
+	unusedFor := now - e.LastRequest
+	if unusedFor < ttl {
+		e.timer = b.cfg.Sched.After(ttl-unusedFor, func() { b.ttlCheck(e) })
+		return
+	}
+	b.evict(e, EvictTTL)
+}
+
+func (b *Buffer) evict(e *Entry, reason EvictReason) {
+	if e.timer != nil {
+		e.timer.Stop()
+		e.timer = nil
+	}
+	delete(b.entries, e.ID)
+	b.bytes -= len(e.Payload)
+	if e.State == StateLongTerm {
+		b.longCount--
+	}
+	b.evicted[reason]++
+	b.account(b.cfg.Sched.Now())
+	if b.cfg.OnEvict != nil {
+		b.cfg.OnEvict(e, reason)
+	}
+}
+
+func (b *Buffer) account(now time.Duration) {
+	b.occupancy.Set(now, float64(len(b.entries)))
+	b.byteOcc.Set(now, float64(b.bytes))
+}

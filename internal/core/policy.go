@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Decision is a policy's verdict when an entry becomes idle.
+type Decision int
+
+// Idle-time decisions.
+const (
+	Discard Decision = iota + 1
+	PromoteLongTerm
+)
+
+// Policy parameterizes buffer retention. Implementations must be
+// deterministic given the same rng stream; all randomness flows through the
+// OnIdle rng argument.
+type Policy interface {
+	// Name identifies the policy in metrics and experiment output.
+	Name() string
+	// Hold returns how long an entry is held before an idle check, and
+	// whether retransmission-request feedback re-arms that clock.
+	// A zero duration means the entry never idles (retention until external
+	// removal).
+	Hold(id wire.MessageID) (d time.Duration, resetOnRequest bool)
+	// OnIdle decides what happens to an entry that has been idle for the
+	// hold period.
+	OnIdle(id wire.MessageID, r *rng.Source) Decision
+	// LongTermTTL bounds unused long-term retention; zero means forever.
+	LongTermTTL() time.Duration
+}
+
+// TwoPhase is the paper's buffer management algorithm (§3): feedback-based
+// short-term buffering with idle threshold T, then randomized long-term
+// election with probability C/n.
+type TwoPhase struct {
+	// T is the idle threshold. The paper recommends a small multiple of the
+	// maximum intra-region round-trip time (§3.1; 4× in the evaluation).
+	T time.Duration
+	// C is the expected number of long-term bufferers per region (§3.2).
+	C float64
+	// N is the region size the member believes, used to derive the
+	// election probability C/N.
+	N int
+	// TTL bounds unused long-term retention; zero means forever.
+	TTL time.Duration
+}
+
+// NewTwoPhase returns the paper's policy with explicit parameters. It
+// panics if T <= 0 or N <= 0.
+func NewTwoPhase(t time.Duration, c float64, n int, ttl time.Duration) *TwoPhase {
+	if t <= 0 {
+		panic(fmt.Sprintf("core: TwoPhase idle threshold %v must be positive", t))
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("core: TwoPhase region size %d must be positive", n))
+	}
+	return &TwoPhase{T: t, C: c, N: n, TTL: ttl}
+}
+
+// Name implements Policy.
+func (p *TwoPhase) Name() string { return "two-phase" }
+
+// Hold implements Policy: hold for T, re-armed by request feedback.
+func (p *TwoPhase) Hold(wire.MessageID) (time.Duration, bool) { return p.T, true }
+
+// ElectionProbability returns the per-message long-term election
+// probability C/N, clamped to [0, 1].
+func (p *TwoPhase) ElectionProbability() float64 {
+	pr := p.C / float64(p.N)
+	switch {
+	case pr < 0:
+		return 0
+	case pr > 1:
+		return 1
+	default:
+		return pr
+	}
+}
+
+// OnIdle implements Policy: elect long-term with probability C/N.
+func (p *TwoPhase) OnIdle(_ wire.MessageID, r *rng.Source) Decision {
+	if r != nil && r.Bernoulli(p.ElectionProbability()) {
+		return PromoteLongTerm
+	}
+	return Discard
+}
+
+// LongTermTTL implements Policy.
+func (p *TwoPhase) LongTermTTL() time.Duration { return p.TTL }
+
+var _ Policy = (*TwoPhase)(nil)
+
+// FixedHold buffers every message for a fixed duration, the Bimodal
+// Multicast policy the paper contrasts with (§2): no feedback, no long-term
+// phase.
+type FixedHold struct {
+	// D is the constant retention period.
+	D time.Duration
+}
+
+// Name implements Policy.
+func (p *FixedHold) Name() string { return "fixed-hold" }
+
+// Hold implements Policy: requests do not extend retention.
+func (p *FixedHold) Hold(wire.MessageID) (time.Duration, bool) { return p.D, false }
+
+// OnIdle implements Policy: always discard at expiry.
+func (p *FixedHold) OnIdle(wire.MessageID, *rng.Source) Decision { return Discard }
+
+// LongTermTTL implements Policy.
+func (p *FixedHold) LongTermTTL() time.Duration { return 0 }
+
+var _ Policy = (*FixedHold)(nil)
+
+// BufferAll retains every message until an external authority (a stability
+// detector, or session teardown) removes it — the conservative strategy of
+// §1 and the RMTP repair-server behaviour.
+type BufferAll struct{}
+
+// Name implements Policy.
+func (BufferAll) Name() string { return "buffer-all" }
+
+// Hold implements Policy: zero hold means "never idles".
+func (BufferAll) Hold(wire.MessageID) (time.Duration, bool) { return 0, false }
+
+// OnIdle implements Policy. It is unreachable for entries stored under this
+// policy (they never idle) but must still answer for entries promoted via
+// StoreLongTerm on handoff.
+func (BufferAll) OnIdle(wire.MessageID, *rng.Source) Decision { return PromoteLongTerm }
+
+// LongTermTTL implements Policy.
+func (BufferAll) LongTermTTL() time.Duration { return 0 }
+
+var _ Policy = BufferAll{}
+
+// HashElect is the deterministic bufferer-selection baseline from the
+// authors' earlier work ([11], discussed in §3.4): the long-term bufferers
+// of a message are the C region members with the smallest hash of
+// (member address, message id). Any member can compute the bufferer set
+// locally, avoiding the search protocol at the cost of per-lookup hashing
+// and with no way to adapt to membership dynamics.
+type HashElect struct {
+	// T is the short-term idle threshold, as in TwoPhase.
+	T time.Duration
+	// C is the number of deterministic bufferers per region.
+	C int
+	// Self is the member owning this buffer.
+	Self topology.NodeID
+	// Region is the member's (approximate) region membership, including
+	// Self. The slice is copied at construction.
+	Region []topology.NodeID
+	// TTL bounds unused long-term retention; zero means forever.
+	TTL time.Duration
+}
+
+// NewHashElect constructs the deterministic policy. It panics on an empty
+// region or non-positive T.
+func NewHashElect(t time.Duration, c int, self topology.NodeID, region []topology.NodeID, ttl time.Duration) *HashElect {
+	if t <= 0 {
+		panic("core: HashElect idle threshold must be positive")
+	}
+	if len(region) == 0 {
+		panic("core: HashElect requires region membership")
+	}
+	cp := make([]topology.NodeID, len(region))
+	copy(cp, region)
+	return &HashElect{T: t, C: c, Self: self, Region: cp, TTL: ttl}
+}
+
+// Name implements Policy.
+func (p *HashElect) Name() string { return "hash-elect" }
+
+// Hold implements Policy.
+func (p *HashElect) Hold(wire.MessageID) (time.Duration, bool) { return p.T, true }
+
+// OnIdle implements Policy: keep iff Self is among the C lowest hashes.
+func (p *HashElect) OnIdle(id wire.MessageID, _ *rng.Source) Decision {
+	if p.IsBufferer(p.Self, id) {
+		return PromoteLongTerm
+	}
+	return Discard
+}
+
+// LongTermTTL implements Policy.
+func (p *HashElect) LongTermTTL() time.Duration { return p.TTL }
+
+// Bufferers returns the deterministic bufferer set for id: the C members
+// with the smallest rank hash. Every member of the region computes the same
+// set, so a requester can contact bufferers directly (§3.4).
+func (p *HashElect) Bufferers(id wire.MessageID) []topology.NodeID {
+	c := p.C
+	if c > len(p.Region) {
+		c = len(p.Region)
+	}
+	if c <= 0 {
+		return nil
+	}
+	ranked := make([]topology.NodeID, len(p.Region))
+	copy(ranked, p.Region)
+	sort.Slice(ranked, func(i, j int) bool {
+		hi, hj := rankHash(ranked[i], id), rankHash(ranked[j], id)
+		if hi != hj {
+			return hi < hj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked[:c]
+}
+
+// IsBufferer reports whether node is in the deterministic bufferer set for
+// id.
+func (p *HashElect) IsBufferer(node topology.NodeID, id wire.MessageID) bool {
+	for _, b := range p.Bufferers(id) {
+		if b == node {
+			return true
+		}
+	}
+	return false
+}
+
+var _ Policy = (*HashElect)(nil)
+
+// rankHash mixes a member address with a message id into a 64-bit rank.
+// It is a fixed splitmix64-style finalizer: deterministic across runs and
+// platforms, which the deterministic baseline requires.
+func rankHash(node topology.NodeID, id wire.MessageID) uint64 {
+	x := uint64(uint32(node))<<32 ^ uint64(uint32(id.Source))
+	x ^= id.Seq * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

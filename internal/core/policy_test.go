@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestTwoPhaseElectionProbabilityClamped(t *testing.T) {
+	if got := NewTwoPhase(time.Millisecond, 6, 100, 0).ElectionProbability(); got != 0.06 {
+		t.Fatalf("P = %v", got)
+	}
+	if got := NewTwoPhase(time.Millisecond, 200, 100, 0).ElectionProbability(); got != 1 {
+		t.Fatalf("clamped P = %v", got)
+	}
+	if got := (&TwoPhase{T: time.Millisecond, C: -1, N: 100}).ElectionProbability(); got != 0 {
+		t.Fatalf("negative C: P = %v", got)
+	}
+}
+
+func TestTwoPhaseConstructorValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero T": func() { NewTwoPhase(0, 6, 100, 0) },
+		"zero N": func() { NewTwoPhase(time.Millisecond, 6, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestElectionMatchesBinomial reproduces the §3.2 claim: with n members
+// electing independently with probability C/n, the number of long-term
+// bufferers is Binomial(n, C/n) ≈ Poisson(C).
+func TestElectionMatchesBinomial(t *testing.T) {
+	const n, c, trials = 100, 6.0, 20000
+	p := NewTwoPhase(time.Millisecond, c, n, 0)
+	r := rng.New(7)
+	counts := make(map[int]int)
+	for trial := 0; trial < trials; trial++ {
+		k := 0
+		for member := 0; member < n; member++ {
+			if p.OnIdle(id(uint64(trial)), r) == PromoteLongTerm {
+				k++
+			}
+		}
+		counts[k]++
+	}
+	// Compare empirical pmf with the analytic Binomial at a few points.
+	for _, k := range []int{0, 3, 6, 9} {
+		got := float64(counts[k]) / trials
+		want := analytic.BinomialPMF(n, k, c/n)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("P[k=%d] empirical %v vs analytic %v", k, got, want)
+		}
+	}
+	// Mean should be C.
+	var mean float64
+	for k, cnt := range counts {
+		mean += float64(k) * float64(cnt)
+	}
+	mean /= trials
+	if math.Abs(mean-c) > 0.1 {
+		t.Errorf("mean bufferers %v, want %v", mean, c)
+	}
+}
+
+// TestNoBuffererProbability reproduces Figure 4's headline number: with
+// C = 6 an idle message is buffered nowhere ~0.25% of the time.
+func TestNoBuffererProbability(t *testing.T) {
+	const n, trials = 100, 200000
+	r := rng.New(11)
+	for _, c := range []float64{1, 3, 6} {
+		p := NewTwoPhase(time.Millisecond, c, n, 0)
+		none := 0
+		for trial := 0; trial < trials; trial++ {
+			elected := false
+			for member := 0; member < n && !elected; member++ {
+				elected = p.OnIdle(id(uint64(trial)), r) == PromoteLongTerm
+			}
+			if !elected {
+				none++
+			}
+		}
+		got := float64(none) / trials
+		want := analytic.ProbNoLongTermBuffererExact(c, n)
+		if math.Abs(got-want) > want*0.15+0.001 {
+			t.Errorf("C=%v: P[no bufferer] empirical %v vs analytic %v", c, got, want)
+		}
+	}
+}
+
+func TestFixedHoldPolicy(t *testing.T) {
+	p := &FixedHold{D: 5 * time.Second}
+	d, reset := p.Hold(id(1))
+	if d != 5*time.Second || reset {
+		t.Fatalf("Hold = %v, %v", d, reset)
+	}
+	if p.OnIdle(id(1), rng.New(1)) != Discard {
+		t.Fatal("fixed-hold did not discard")
+	}
+	if p.Name() != "fixed-hold" {
+		t.Fatal("name")
+	}
+}
+
+func TestBufferAllPolicy(t *testing.T) {
+	p := BufferAll{}
+	d, _ := p.Hold(id(1))
+	if d != 0 {
+		t.Fatalf("buffer-all hold %v, want 0 (never idles)", d)
+	}
+	if p.OnIdle(id(1), nil) != PromoteLongTerm {
+		t.Fatal("buffer-all idle decision")
+	}
+}
+
+func region(n int) []topology.NodeID {
+	r := make([]topology.NodeID, n)
+	for i := range r {
+		r[i] = topology.NodeID(i)
+	}
+	return r
+}
+
+func TestHashElectAgreementAcrossMembers(t *testing.T) {
+	// Every member must compute the identical bufferer set for a message.
+	reg := region(50)
+	policies := make([]*HashElect, len(reg))
+	for i, self := range reg {
+		policies[i] = NewHashElect(time.Millisecond, 5, self, reg, 0)
+	}
+	for seq := uint64(0); seq < 20; seq++ {
+		want := policies[0].Bufferers(id(seq))
+		if len(want) != 5 {
+			t.Fatalf("bufferer set size %d", len(want))
+		}
+		for _, p := range policies[1:] {
+			got := p.Bufferers(id(seq))
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seq %d: members disagree: %v vs %v", seq, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHashElectOnIdleConsistentWithSet(t *testing.T) {
+	reg := region(30)
+	for _, self := range reg {
+		p := NewHashElect(time.Millisecond, 4, self, reg, 0)
+		for seq := uint64(0); seq < 10; seq++ {
+			inSet := p.IsBufferer(self, id(seq))
+			promoted := p.OnIdle(id(seq), nil) == PromoteLongTerm
+			if inSet != promoted {
+				t.Fatalf("self=%d seq=%d: IsBufferer=%v but OnIdle promote=%v", self, seq, inSet, promoted)
+			}
+		}
+	}
+}
+
+func TestHashElectLoadSpread(t *testing.T) {
+	// Across many messages, each member should be elected roughly equally
+	// often: mean C/n per message.
+	reg := region(40)
+	p := NewHashElect(time.Millisecond, 4, 0, reg, 0)
+	const msgs = 4000
+	counts := make(map[topology.NodeID]int)
+	for seq := uint64(0); seq < msgs; seq++ {
+		for _, b := range p.Bufferers(id(seq)) {
+			counts[b]++
+		}
+	}
+	want := float64(msgs) * 4 / 40
+	for n, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.25 {
+			t.Fatalf("member %d elected %d times, want ~%v", n, c, want)
+		}
+	}
+}
+
+func TestHashElectDifferentMessagesDiffer(t *testing.T) {
+	reg := region(100)
+	p := NewHashElect(time.Millisecond, 3, 0, reg, 0)
+	same := 0
+	const pairs = 200
+	for seq := uint64(0); seq < pairs; seq++ {
+		a := p.Bufferers(id(2 * seq))
+		b := p.Bufferers(id(2*seq + 1))
+		equal := true
+		for i := range a {
+			if a[i] != b[i] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			same++
+		}
+	}
+	if same > pairs/10 {
+		t.Fatalf("%d/%d consecutive messages share a bufferer set; hash looks degenerate", same, pairs)
+	}
+}
+
+func TestHashElectCapsAtRegionSize(t *testing.T) {
+	reg := region(3)
+	p := NewHashElect(time.Millisecond, 10, 0, reg, 0)
+	if got := len(p.Bufferers(id(1))); got != 3 {
+		t.Fatalf("bufferers %d, want 3", got)
+	}
+	zero := NewHashElect(time.Millisecond, 0, 0, reg, 0)
+	if got := zero.Bufferers(id(1)); got != nil {
+		t.Fatalf("C=0 returned %v", got)
+	}
+}
+
+func TestHashElectCopiesRegion(t *testing.T) {
+	reg := region(5)
+	p := NewHashElect(time.Millisecond, 2, 0, reg, 0)
+	reg[0] = 999
+	for _, b := range p.Bufferers(id(1)) {
+		if b == 999 {
+			t.Fatal("policy aliased caller's region slice")
+		}
+	}
+}
+
+func TestHashElectValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty region accepted")
+		}
+	}()
+	NewHashElect(time.Millisecond, 2, 0, nil, 0)
+}
+
+// Property: the deterministic bufferer set is stable (same inputs, same
+// set) and always has min(C, n) distinct members from the region.
+func TestHashElectSetProperty(t *testing.T) {
+	prop := func(seqs []uint64, cRaw, nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		c := int(cRaw % 12)
+		reg := region(n)
+		p := NewHashElect(time.Millisecond, c, 0, reg, 0)
+		for _, seq := range seqs {
+			set := p.Bufferers(id(seq))
+			wantLen := c
+			if wantLen > n {
+				wantLen = n
+			}
+			if len(set) != wantLen {
+				return false
+			}
+			seen := make(map[topology.NodeID]bool, len(set))
+			for _, b := range set {
+				if b < 0 || int(b) >= n || seen[b] {
+					return false
+				}
+				seen[b] = true
+			}
+			// Stability.
+			again := p.Bufferers(id(seq))
+			for i := range set {
+				if set[i] != again[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package eventq implements the ordered event queue at the heart of the
+// discrete-event simulator.
+//
+// The queue is a binary min-heap keyed on (time, sequence). The sequence
+// number is assigned on insertion, so events scheduled for the same instant
+// fire in insertion order. This total order is what makes whole-system
+// simulations deterministic: two runs with the same seed execute the exact
+// same event interleaving.
+//
+// Events can be cancelled in O(log n) through the handle returned by Push;
+// the heap tracks element indices to support removal without lazy deletion,
+// keeping memory bounded even under heavy timer churn (every retransmission
+// timer in the protocol is cancelled when the awaited message arrives).
+package eventq
+
+import "time"
+
+// Event is a callback scheduled to run at a virtual time.
+type Event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+
+	// index is the element's position in the heap, or -1 once removed.
+	index int
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Queue is a min-heap of events ordered by (time, insertion sequence).
+// The zero value is ready to use. Queue is not safe for concurrent use.
+type Queue struct {
+	heap    []*Event
+	nextSeq uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Push schedules fn to run at virtual time at and returns a handle that can
+// be passed to Remove. Scheduling in the past is allowed (the simulator
+// clamps, firing such events "now").
+func (q *Queue) Push(at time.Duration, fn func()) *Event {
+	e := &Event{at: at, seq: q.nextSeq, fn: fn, index: len(q.heap)}
+	q.nextSeq++
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+	return e
+}
+
+// Peek returns the earliest event without removing it, or nil if empty.
+func (q *Queue) Peek() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// Pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *Queue) Pop() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	e := q.heap[0]
+	q.removeAt(0)
+	return e
+}
+
+// Remove cancels a pending event. It returns false if the event already
+// fired or was removed. Passing nil is a no-op returning false.
+func (q *Queue) Remove(e *Event) bool {
+	if e == nil || e.index < 0 || e.index >= len(q.heap) || q.heap[e.index] != e {
+		return false
+	}
+	q.removeAt(e.index)
+	return true
+}
+
+// Fn returns the event callback. It remains valid after removal so the
+// simulator can invoke it after popping.
+func (e *Event) Fn() func() { return e.fn }
+
+func (q *Queue) removeAt(i int) {
+	e := q.heap[i]
+	last := len(q.heap) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.heap[last] = nil // allow GC of the event's closure
+	q.heap = q.heap[:last]
+	if i != last && i < len(q.heap) {
+		if !q.down(i) {
+			q.up(i)
+		}
+	}
+	e.index = -1
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) bool {
+	moved := false
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+		moved = true
+	}
+	return moved
+}

@@ -1,0 +1,186 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Push(30*time.Millisecond, func() { got = append(got, 3) })
+	q.Push(10*time.Millisecond, func() { got = append(got, 1) })
+	q.Push(20*time.Millisecond, func() { got = append(got, 2) })
+	for q.Len() > 0 {
+		q.Pop().Fn()()
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Push(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	for q.Len() > 0 {
+		q.Pop().Fn()()
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var q Queue
+	fired := make(map[int]bool)
+	mk := func(i int, at time.Duration) *Event {
+		return q.Push(at, func() { fired[i] = true })
+	}
+	e1 := mk(1, 10)
+	e2 := mk(2, 20)
+	e3 := mk(3, 30)
+	if !q.Remove(e2) {
+		t.Fatal("Remove(e2) = false")
+	}
+	if q.Remove(e2) {
+		t.Fatal("second Remove(e2) = true")
+	}
+	for q.Len() > 0 {
+		q.Pop().Fn()()
+	}
+	if !fired[1] || fired[2] || !fired[3] {
+		t.Fatalf("fired = %v, want 1 and 3 only", fired)
+	}
+	if q.Remove(e1) || q.Remove(e3) {
+		t.Fatal("Remove after Pop returned true")
+	}
+	if q.Remove(nil) {
+		t.Fatal("Remove(nil) = true")
+	}
+}
+
+func TestRemoveHead(t *testing.T) {
+	var q Queue
+	e1 := q.Push(10, func() {})
+	q.Push(20, func() {})
+	if !q.Remove(e1) {
+		t.Fatal("Remove head failed")
+	}
+	if got := q.Peek().At(); got != 20 {
+		t.Fatalf("head after removal at %v, want 20", got)
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	var q Queue
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty queue != nil")
+	}
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty queue != nil")
+	}
+}
+
+func TestPeekMatchesPop(t *testing.T) {
+	var q Queue
+	q.Push(7, func() {})
+	q.Push(3, func() {})
+	p := q.Peek()
+	if got := q.Pop(); got != p {
+		t.Fatal("Peek and Pop disagree")
+	}
+}
+
+// TestHeapPropertyRandomized is a property test: for any sequence of pushes
+// with arbitrary times, popping yields a non-decreasing time sequence, and
+// equal times preserve insertion order.
+func TestHeapPropertyRandomized(t *testing.T) {
+	prop := func(times []uint16) bool {
+		var q Queue
+		type rec struct {
+			at  time.Duration
+			seq int
+		}
+		var popped []rec
+		for i, raw := range times {
+			at := time.Duration(raw % 64) // force many collisions
+			i := i
+			q.Push(at, func() { popped = append(popped, rec{at, i}) })
+		}
+		for q.Len() > 0 {
+			q.Pop().Fn()()
+		}
+		if len(popped) != len(times) {
+			return false
+		}
+		if !sort.SliceIsSorted(popped, func(i, j int) bool {
+			if popped[i].at != popped[j].at {
+				return popped[i].at < popped[j].at
+			}
+			return popped[i].seq < popped[j].seq
+		}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomizedRemoval interleaves pushes and removals and checks the
+// survivors fire in order.
+func TestRandomizedRemoval(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		var q Queue
+		var handles []*Event
+		removed := make(map[*Event]bool)
+		var firedTimes []time.Duration
+		for _, op := range ops {
+			if op%3 == 0 && len(handles) > 0 {
+				h := handles[int(op)%len(handles)]
+				if q.Remove(h) {
+					removed[h] = true
+				}
+			} else {
+				at := time.Duration(op % 128)
+				var h *Event
+				h = q.Push(at, func() { firedTimes = append(firedTimes, h.At()) })
+				handles = append(handles, h)
+			}
+		}
+		pending := q.Len()
+		for q.Len() > 0 {
+			q.Pop().Fn()()
+		}
+		if len(firedTimes) != pending {
+			return false
+		}
+		return sort.SliceIsSorted(firedTimes, func(i, j int) bool { return firedTimes[i] < firedTimes[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		q.Push(time.Duration(i%1024), fn)
+		if q.Len() > 512 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package netsim models the network underneath the protocol: per-pair
+// one-way latency, per-packet loss, unicast, and IP-multicast-style fan-out
+// with independent per-receiver loss draws.
+//
+// It substitutes for the paper's unspecified WAN testbed. The evaluation in
+// §4 depends only on the latency structure (a fixed intra-region RTT, much
+// larger inter-region latency) and on which receivers the initial multicast
+// reaches; both are explicit models here. All randomness comes from
+// dedicated rng streams so runs are reproducible.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Packet is one message in flight together with its delivery metadata.
+type Packet struct {
+	From, To topology.NodeID
+	Msg      wire.Message
+	Size     int // bytes charged to traffic accounting
+}
+
+// Handler consumes packets delivered to a registered node.
+type Handler func(pkt Packet)
+
+// LatencyModel yields the one-way delay between two members.
+type LatencyModel interface {
+	OneWay(from, to topology.NodeID) time.Duration
+}
+
+// LossModel decides whether a packet is dropped. Implementations may keep
+// per-pair state (burst models) and may discriminate by message type, which
+// the experiments use to make recovery traffic lossless as in §4.
+type LossModel interface {
+	Drop(from, to topology.NodeID, t wire.Type) bool
+}
+
+// Network delivers packets between registered nodes over a clock.Scheduler.
+type Network struct {
+	sched   clock.Scheduler
+	latency LatencyModel
+	loss    LossModel
+
+	handlers map[topology.NodeID]Handler
+	stats    Stats
+	down     map[topology.NodeID]bool
+}
+
+// Stats aggregates traffic accounting per message type.
+type Stats struct {
+	Sent      map[wire.Type]*stats.Counter
+	Delivered map[wire.Type]*stats.Counter
+	Dropped   map[wire.Type]*stats.Counter
+	Bytes     map[wire.Type]*stats.Counter
+}
+
+func newStats() Stats {
+	return Stats{
+		Sent:      map[wire.Type]*stats.Counter{},
+		Delivered: map[wire.Type]*stats.Counter{},
+		Dropped:   map[wire.Type]*stats.Counter{},
+		Bytes:     map[wire.Type]*stats.Counter{},
+	}
+}
+
+func bump(m map[wire.Type]*stats.Counter, t wire.Type, d int64) {
+	c, ok := m[t]
+	if !ok {
+		c = &stats.Counter{}
+		m[t] = c
+	}
+	c.Add(d)
+}
+
+func value(m map[wire.Type]*stats.Counter, t wire.Type) int64 {
+	if c, ok := m[t]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// SentCount returns packets offered for transmission of type t.
+func (s *Stats) SentCount(t wire.Type) int64 { return value(s.Sent, t) }
+
+// DeliveredCount returns packets delivered of type t.
+func (s *Stats) DeliveredCount(t wire.Type) int64 { return value(s.Delivered, t) }
+
+// DroppedCount returns packets dropped of type t.
+func (s *Stats) DroppedCount(t wire.Type) int64 { return value(s.Dropped, t) }
+
+// BytesSent returns the bytes offered for transmission of type t.
+func (s *Stats) BytesSent(t wire.Type) int64 { return value(s.Bytes, t) }
+
+// TotalSent returns packets offered across all types.
+func (s *Stats) TotalSent() int64 {
+	var n int64
+	for _, c := range s.Sent {
+		n += c.Value()
+	}
+	return n
+}
+
+// TotalBytes returns bytes offered across all types.
+func (s *Stats) TotalBytes() int64 {
+	var n int64
+	for _, c := range s.Bytes {
+		n += c.Value()
+	}
+	return n
+}
+
+// New creates a network over the given scheduler with the given models.
+// A nil loss model means lossless.
+func New(sched clock.Scheduler, latency LatencyModel, loss LossModel) *Network {
+	if latency == nil {
+		panic("netsim: nil latency model")
+	}
+	if loss == nil {
+		loss = NoLoss{}
+	}
+	return &Network{
+		sched:    sched,
+		latency:  latency,
+		loss:     loss,
+		handlers: make(map[topology.NodeID]Handler),
+		stats:    newStats(),
+		down:     make(map[topology.NodeID]bool),
+	}
+}
+
+// Register installs the delivery handler for node. Registering twice
+// replaces the previous handler (used when a member restarts).
+func (n *Network) Register(node topology.NodeID, h Handler) {
+	if h == nil {
+		panic(fmt.Sprintf("netsim: nil handler for node %d", node))
+	}
+	n.handlers[node] = h
+}
+
+// SetDown marks a node as crashed: packets to and from it vanish. Used by
+// failure-injection tests and the churn experiments.
+func (n *Network) SetDown(node topology.NodeID, down bool) {
+	if down {
+		n.down[node] = true
+	} else {
+		delete(n.down, node)
+	}
+}
+
+// IsDown reports whether the node is marked crashed.
+func (n *Network) IsDown(node topology.NodeID) bool { return n.down[node] }
+
+// Stats returns the traffic counters (live view).
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// Unicast sends msg from -> to, applying latency and loss models.
+func (n *Network) Unicast(from, to topology.NodeID, msg wire.Message) {
+	size := msg.EncodedSize()
+	bump(n.stats.Sent, msg.Type, 1)
+	bump(n.stats.Bytes, msg.Type, int64(size))
+	if n.down[from] || n.down[to] || n.loss.Drop(from, to, msg.Type) {
+		bump(n.stats.Dropped, msg.Type, 1)
+		return
+	}
+	d := n.latency.OneWay(from, to)
+	n.sched.After(d, func() {
+		// Re-check liveness at delivery time: the node may have crashed
+		// while the packet was in flight.
+		if n.down[to] {
+			bump(n.stats.Dropped, msg.Type, 1)
+			return
+		}
+		h, ok := n.handlers[to]
+		if !ok {
+			bump(n.stats.Dropped, msg.Type, 1)
+			return
+		}
+		bump(n.stats.Delivered, msg.Type, 1)
+		h(Packet{From: from, To: to, Msg: msg, Size: size})
+	})
+}
+
+// Multicast sends msg from -> each target with independent latency and loss
+// draws, modeling IP multicast fan-out. Targets equal to from are skipped.
+func (n *Network) Multicast(from topology.NodeID, targets []topology.NodeID, msg wire.Message) {
+	for _, to := range targets {
+		if to == from {
+			continue
+		}
+		n.Unicast(from, to, msg)
+	}
+}
+
+// NoLoss is the lossless LossModel.
+type NoLoss struct{}
+
+// Drop implements LossModel (never drops).
+func (NoLoss) Drop(topology.NodeID, topology.NodeID, wire.Type) bool { return false }
+
+var _ LossModel = NoLoss{}
+
+// BernoulliLoss drops each packet independently with probability P.
+// If Only is non-empty, loss applies exclusively to the listed types; every
+// other type is lossless. The experiments use Only = {DATA} to reproduce
+// §4's "requests and repairs are not lost" assumption.
+type BernoulliLoss struct {
+	P    float64
+	Only map[wire.Type]bool
+	Rng  *rng.Source
+}
+
+// Drop implements LossModel.
+func (b *BernoulliLoss) Drop(_, _ topology.NodeID, t wire.Type) bool {
+	if len(b.Only) > 0 && !b.Only[t] {
+		return false
+	}
+	return b.Rng.Bernoulli(b.P)
+}
+
+var _ LossModel = (*BernoulliLoss)(nil)
+
+// GilbertElliott is a two-state burst loss model, tracked per (from, to)
+// pair. In the Good state packets drop with PGood; in the Bad state with
+// PBad. The chain flips Good->Bad with PGB per packet and Bad->Good with
+// PBG. If Only is non-empty, loss applies exclusively to the listed types.
+type GilbertElliott struct {
+	PGood, PBad float64
+	PGB, PBG    float64
+	Only        map[wire.Type]bool
+	Rng         *rng.Source
+
+	bad map[[2]topology.NodeID]bool
+}
+
+// Drop implements LossModel.
+func (g *GilbertElliott) Drop(from, to topology.NodeID, t wire.Type) bool {
+	if len(g.Only) > 0 && !g.Only[t] {
+		return false
+	}
+	if g.bad == nil {
+		g.bad = make(map[[2]topology.NodeID]bool)
+	}
+	key := [2]topology.NodeID{from, to}
+	inBad := g.bad[key]
+	// Advance the channel state first, then draw loss from the new state.
+	if inBad {
+		if g.Rng.Bernoulli(g.PBG) {
+			inBad = false
+		}
+	} else {
+		if g.Rng.Bernoulli(g.PGB) {
+			inBad = true
+		}
+	}
+	g.bad[key] = inBad
+	if inBad {
+		return g.Rng.Bernoulli(g.PBad)
+	}
+	return g.Rng.Bernoulli(g.PGood)
+}
+
+var _ LossModel = (*GilbertElliott)(nil)
+
+// UniformLatency applies a fixed one-way delay between every pair.
+type UniformLatency struct {
+	Delay time.Duration
+}
+
+// OneWay implements LatencyModel.
+func (u UniformLatency) OneWay(_, _ topology.NodeID) time.Duration { return u.Delay }
+
+var _ LatencyModel = UniformLatency{}
+
+// HierLatency derives one-way delay from the topology's region structure:
+// IntraOneWay within a region, and InterOneWay per hierarchy hop between
+// regions. With the paper's defaults (intra RTT 10 ms, so IntraOneWay 5 ms)
+// an adjacent-region one-way is InterOneWay, two hops costs twice that, and
+// so on.
+type HierLatency struct {
+	Topo        *topology.Topology
+	IntraOneWay time.Duration
+	InterOneWay time.Duration
+}
+
+// OneWay implements LatencyModel.
+func (h HierLatency) OneWay(from, to topology.NodeID) time.Duration {
+	hops := h.Topo.HierarchyDistance(from, to)
+	if hops == 0 {
+		return h.IntraOneWay
+	}
+	return time.Duration(hops) * h.InterOneWay
+}
+
+var _ LatencyModel = HierLatency{}
+
+// JitteredLatency wraps another model, scaling each delay by a uniform
+// factor in [1-Frac, 1+Frac]. Jitter models queueing variance and also
+// breaks protocol-level ties in wall-clock order, as a real network would.
+type JitteredLatency struct {
+	Inner LatencyModel
+	Frac  float64
+	Rng   *rng.Source
+}
+
+// OneWay implements LatencyModel.
+func (j JitteredLatency) OneWay(from, to topology.NodeID) time.Duration {
+	base := j.Inner.OneWay(from, to)
+	return time.Duration(j.Rng.Jitter(float64(base), j.Frac))
+}
+
+var _ LatencyModel = JitteredLatency{}
+
+// MatrixLatency specifies one-way delay per (fromRegion, toRegion) pair,
+// with Intra used when the regions coincide. It panics on a region pair
+// outside the matrix, which indicates a construction bug.
+type MatrixLatency struct {
+	Topo  *topology.Topology
+	Intra time.Duration
+	Inter [][]time.Duration
+}
+
+// OneWay implements LatencyModel.
+func (m MatrixLatency) OneWay(from, to topology.NodeID) time.Duration {
+	ra, rb := m.Topo.RegionOf(from), m.Topo.RegionOf(to)
+	if ra == rb {
+		return m.Intra
+	}
+	return m.Inter[ra][rb]
+}
+
+var _ LatencyModel = MatrixLatency{}

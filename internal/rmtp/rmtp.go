@@ -1,0 +1,413 @@
+// Package rmtp implements a tree-based reliable multicast baseline in the
+// style of RMTP (Paul et al., reference [12]): each region designates a
+// repair server that buffers every message and answers NAKs from its
+// region; repair servers recover from their parent region's server, and
+// ACK windows propagate up the tree to let servers trim their buffers.
+//
+// The paper contrasts RRMP's diffused buffering with exactly this design:
+// "a repair server bears the entire burden of buffering messages for a
+// local region" (§1, §6). Ablation A2 runs both protocols on the same
+// workload and compares per-member buffer load.
+package rmtp
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Send transmits a PDU to a peer; bind it to the network.
+type Send func(to topology.NodeID, msg wire.Message)
+
+// Broadcast transmits the initial multicast to the whole group.
+type Broadcast func(msg wire.Message)
+
+// Params tunes the baseline protocol.
+type Params struct {
+	// NakRTT is the retry period for NAKs to the local repair server.
+	NakRTT time.Duration
+	// ParentRTT is the retry period for server-to-parent-server NAKs.
+	ParentRTT time.Duration
+	// AckInterval is the period of receiver->server ACK windows.
+	AckInterval time.Duration
+	// SessionInterval is the sender's session-message period.
+	SessionInterval time.Duration
+	// MaxTries bounds NAK retries (give-ups are counted).
+	MaxTries int
+	// StartSeq is the reliability baseline, as in rrmp.Params.
+	StartSeq uint64
+}
+
+// DefaultParams mirrors the RRMP defaults for fair comparison.
+func DefaultParams() Params {
+	return Params{
+		NakRTT:          10*time.Millisecond + 500*time.Microsecond,
+		ParentRTT:       100*time.Millisecond + 500*time.Microsecond,
+		AckInterval:     100 * time.Millisecond,
+		SessionInterval: 100 * time.Millisecond,
+		MaxTries:        64,
+	}
+}
+
+// Config assembles a node.
+type Config struct {
+	// Self is this node's id.
+	Self topology.NodeID
+	// Server is the repair server of this node's region. A node whose
+	// Server equals Self is the repair server.
+	Server topology.NodeID
+	// ParentServer is the repair server of the parent region
+	// (topology.NoNode at the root).
+	ParentServer topology.NodeID
+	// RegionMembers lists this region's members including Self; the repair
+	// server tracks ACK floors for all of them.
+	RegionMembers []topology.NodeID
+	// ChildServers lists the repair servers of child regions; their ACKs
+	// also gate buffer trimming (a child region may still need repairs).
+	ChildServers []topology.NodeID
+	// Send, Sched, Rng are required.
+	Send  Send
+	Sched clock.Scheduler
+	Rng   *rng.Source
+	// Params tunes timers; zero fields default.
+	Params Params
+	// OnDeliver observes distinct deliveries.
+	OnDeliver func(id wire.MessageID, at time.Duration)
+}
+
+// Metrics tallies one node's protocol activity.
+type Metrics struct {
+	Delivered   stats.Counter
+	Duplicates  stats.Counter
+	NaksSent    stats.Counter
+	NaksRecv    stats.Counter
+	RepairsSent stats.Counter
+	RepairsRecv stats.Counter
+	AcksSent    stats.Counter
+	AcksRecv    stats.Counter
+	GiveUps     stats.Counter
+}
+
+// nakState is one in-flight NAK retry loop.
+type nakState struct {
+	tries int
+	timer clock.Timer
+}
+
+// Node is one RMTP participant (receiver or repair server). Not safe for
+// concurrent use.
+type Node struct {
+	cfg    Config
+	params Params
+
+	isServer bool
+	buffer   *core.Buffer // repair servers only
+
+	received map[uint64]bool
+	maxSeen  uint64
+	prefix   uint64
+	source   topology.NodeID // learned from the first DATA/SESSION
+
+	naks      map[uint64]*nakState
+	waiters   map[uint64][]topology.NodeID
+	ackFloors map[topology.NodeID]uint64
+	ackTimer  clock.Timer
+	trimmed   uint64 // highest seq removed from the server buffer
+
+	metrics Metrics
+}
+
+// New constructs a node. Repair servers get a BufferAll store trimmed by
+// the ACK protocol; plain receivers buffer nothing (they never retransmit).
+func New(cfg Config) *Node {
+	if cfg.Send == nil || cfg.Sched == nil || cfg.Rng == nil {
+		panic("rmtp: Send, Sched and Rng are required")
+	}
+	p := cfg.Params
+	d := DefaultParams()
+	if p.NakRTT <= 0 {
+		p.NakRTT = d.NakRTT
+	}
+	if p.ParentRTT <= 0 {
+		p.ParentRTT = d.ParentRTT
+	}
+	if p.AckInterval <= 0 {
+		p.AckInterval = d.AckInterval
+	}
+	if p.SessionInterval <= 0 {
+		p.SessionInterval = d.SessionInterval
+	}
+	if p.MaxTries <= 0 {
+		p.MaxTries = d.MaxTries
+	}
+	n := &Node{
+		cfg:       cfg,
+		params:    p,
+		isServer:  cfg.Self == cfg.Server,
+		received:  make(map[uint64]bool),
+		maxSeen:   p.StartSeq,
+		prefix:    p.StartSeq,
+		source:    topology.NoNode,
+		naks:      make(map[uint64]*nakState),
+		waiters:   make(map[uint64][]topology.NodeID),
+		ackFloors: make(map[topology.NodeID]uint64),
+		trimmed:   p.StartSeq,
+	}
+	if n.isServer {
+		n.buffer = core.NewBuffer(core.Config{Policy: core.BufferAll{}, Sched: cfg.Sched, Rng: cfg.Rng})
+		for _, m := range cfg.RegionMembers {
+			if m != cfg.Self {
+				n.ackFloors[m] = p.StartSeq
+			}
+		}
+		for _, c := range cfg.ChildServers {
+			n.ackFloors[c] = p.StartSeq
+		}
+	}
+	return n
+}
+
+// Metrics returns the node's live metrics.
+func (n *Node) Metrics() *Metrics { return &n.metrics }
+
+// Buffer returns the repair server's buffer (nil for plain receivers).
+func (n *Node) Buffer() *core.Buffer { return n.buffer }
+
+// IsServer reports whether this node is its region's repair server.
+func (n *Node) IsServer() bool { return n.isServer }
+
+// HasReceived reports whether seq has been delivered to this node.
+func (n *Node) HasReceived(seq uint64) bool { return n.received[seq] }
+
+// Prefix returns the contiguous received prefix.
+func (n *Node) Prefix() uint64 { return n.prefix }
+
+// StartAcks begins the periodic ACK-window loop (receivers report to their
+// region server; servers report the aggregated floor to their parent).
+func (n *Node) StartAcks() {
+	if n.ackTimer != nil {
+		return
+	}
+	var tick func()
+	tick = func() {
+		n.sendAck()
+		n.ackTimer = n.cfg.Sched.After(n.params.AckInterval, tick)
+	}
+	jitter := time.Duration(n.cfg.Rng.Jitter(float64(n.params.AckInterval), 0.2))
+	n.ackTimer = n.cfg.Sched.After(jitter, tick)
+}
+
+// StopAcks halts the ACK loop.
+func (n *Node) StopAcks() {
+	if n.ackTimer != nil {
+		n.ackTimer.Stop()
+		n.ackTimer = nil
+	}
+}
+
+// sendAck reports this node's floor upward: receivers to their server,
+// servers to their parent server (hierarchical aggregation).
+func (n *Node) sendAck() {
+	floor := n.prefix
+	var to topology.NodeID
+	switch {
+	case !n.isServer:
+		to = n.cfg.Server
+	case n.cfg.ParentServer != topology.NoNode:
+		// A server acks the minimum of its own prefix and its region's
+		// floors: the parent may trim only what this whole subtree has.
+		floor = n.aggregateFloor()
+		to = n.cfg.ParentServer
+	default:
+		return // root server acks nobody
+	}
+	n.metrics.AcksSent.Inc()
+	n.cfg.Send(to, wire.Message{Type: wire.TypeAck, From: n.cfg.Self, TopSeq: floor})
+}
+
+func (n *Node) aggregateFloor() uint64 {
+	floor := n.prefix
+	for _, f := range n.ackFloors {
+		if f < floor {
+			floor = f
+		}
+	}
+	return floor
+}
+
+// Receive dispatches one incoming PDU.
+func (n *Node) Receive(from topology.NodeID, msg wire.Message) {
+	switch msg.Type {
+	case wire.TypeData, wire.TypeRepair:
+		if msg.Type == wire.TypeRepair {
+			n.metrics.RepairsRecv.Inc()
+		}
+		n.deliver(msg.ID, msg.Payload)
+	case wire.TypeSession:
+		n.noteTop(msg.From, msg.TopSeq)
+	case wire.TypeNak:
+		n.onNak(from, msg)
+	case wire.TypeAck:
+		n.onAck(from, msg)
+	default:
+		// Other PDUs belong to RRMP; the baseline ignores them.
+	}
+}
+
+// deliver records a message, serves waiters (servers), and advances gap
+// detection.
+func (n *Node) deliver(id wire.MessageID, payload []byte) {
+	if n.source == topology.NoNode {
+		n.source = id.Source
+	}
+	if n.received[id.Seq] {
+		n.metrics.Duplicates.Inc()
+		return
+	}
+	n.received[id.Seq] = true
+	n.metrics.Delivered.Inc()
+	for n.received[n.prefix+1] {
+		n.prefix++
+	}
+	if st, ok := n.naks[id.Seq]; ok {
+		if st.timer != nil {
+			st.timer.Stop()
+		}
+		delete(n.naks, id.Seq)
+	}
+	if n.isServer && id.Seq > n.trimmed {
+		n.buffer.Store(id, payload)
+		if ws := n.waiters[id.Seq]; len(ws) > 0 {
+			delete(n.waiters, id.Seq)
+			for _, w := range ws {
+				n.sendRepair(w, id, payload)
+			}
+		}
+	}
+	if n.cfg.OnDeliver != nil {
+		n.cfg.OnDeliver(id, n.cfg.Sched.Now())
+	}
+	n.noteTop(id.Source, id.Seq)
+}
+
+// noteTop advances loss detection to top and NAKs every gap.
+func (n *Node) noteTop(src topology.NodeID, top uint64) {
+	if n.source == topology.NoNode {
+		n.source = src
+	}
+	if top <= n.maxSeen {
+		return
+	}
+	for seq := n.maxSeen + 1; seq <= top; seq++ {
+		if !n.received[seq] {
+			n.startNak(seq)
+		}
+	}
+	n.maxSeen = top
+}
+
+// startNak begins the retry loop for one missing sequence.
+func (n *Node) startNak(seq uint64) {
+	if _, ok := n.naks[seq]; ok || n.received[seq] {
+		return
+	}
+	st := &nakState{}
+	n.naks[seq] = st
+	n.nakAttempt(seq, st)
+}
+
+func (n *Node) nakAttempt(seq uint64, st *nakState) {
+	if n.naks[seq] != st || n.received[seq] {
+		return
+	}
+	var to topology.NodeID
+	var rtt time.Duration
+	switch {
+	case !n.isServer:
+		to, rtt = n.cfg.Server, n.params.NakRTT
+	case n.cfg.ParentServer != topology.NoNode:
+		to, rtt = n.cfg.ParentServer, n.params.ParentRTT
+	default:
+		// Root server missing a message: with the sender as root there is
+		// nobody to ask; give up (the sender cannot lose its own data).
+		delete(n.naks, seq)
+		n.metrics.GiveUps.Inc()
+		return
+	}
+	if st.tries >= n.params.MaxTries {
+		n.metrics.GiveUps.Inc()
+		delete(n.naks, seq)
+		return
+	}
+	st.tries++
+	n.metrics.NaksSent.Inc()
+	n.cfg.Send(to, wire.Message{
+		Type: wire.TypeNak,
+		From: n.cfg.Self,
+		ID:   wire.MessageID{Source: n.source, Seq: seq},
+	})
+	st.timer = n.cfg.Sched.After(rtt, func() { n.nakAttempt(seq, st) })
+}
+
+// onNak answers from the buffer or records a waiter and escalates.
+func (n *Node) onNak(from topology.NodeID, msg wire.Message) {
+	n.metrics.NaksRecv.Inc()
+	if !n.isServer {
+		return // receivers never retransmit in a tree protocol
+	}
+	seq := msg.ID.Seq
+	if e, ok := n.buffer.Get(msg.ID); ok {
+		n.sendRepair(from, msg.ID, e.Payload)
+		return
+	}
+	if n.received[seq] {
+		// Received but already trimmed below the ACK floor: the requester
+		// acked it earlier (or is a stale duplicate NAK); nothing to do.
+		return
+	}
+	// Not received yet: remember the requester and escalate upward.
+	for _, w := range n.waiters[seq] {
+		if w == from {
+			return
+		}
+	}
+	n.waiters[seq] = append(n.waiters[seq], from)
+	n.noteTop(msg.ID.Source, seq)
+	n.startNak(seq)
+}
+
+func (n *Node) sendRepair(to topology.NodeID, id wire.MessageID, payload []byte) {
+	n.metrics.RepairsSent.Inc()
+	n.cfg.Send(to, wire.Message{Type: wire.TypeRepair, From: n.cfg.Self, ID: id, Payload: payload})
+}
+
+// onAck merges a floor report and trims the buffer up to the region-wide
+// minimum.
+func (n *Node) onAck(from topology.NodeID, msg wire.Message) {
+	n.metrics.AcksRecv.Inc()
+	if !n.isServer {
+		return
+	}
+	if _, tracked := n.ackFloors[from]; !tracked {
+		return // not one of ours
+	}
+	if msg.TopSeq > n.ackFloors[from] {
+		n.ackFloors[from] = msg.TopSeq
+	}
+	n.trim()
+}
+
+// trim discards buffered messages fully acknowledged by the region and all
+// child subtrees.
+func (n *Node) trim() {
+	floor := n.aggregateFloor()
+	for seq := n.trimmed + 1; seq <= floor; seq++ {
+		n.buffer.Remove(wire.MessageID{Source: n.source, Seq: seq}, core.EvictStable)
+		n.trimmed = seq
+	}
+}

@@ -1,0 +1,122 @@
+package rng
+
+import "math"
+
+// Bernoulli returns true with probability p. Values of p outside [0, 1] are
+// clamped, so Bernoulli(1.1) is always true and Bernoulli(-0.1) always
+// false.
+func (r *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// ExpFloat64 returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *Source) ExpFloat64(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: ExpFloat64 with rate <= 0")
+	}
+	// Inverse transform sampling. 1-Float64() is in (0,1], avoiding log(0).
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Binomial returns a draw from Binomial(n, p): the number of successes in n
+// independent trials each succeeding with probability p.
+//
+// For small n it sums Bernoulli trials; for large n with small mean it uses
+// the exact BTPE-free inversion by waiting-time geometric skips, which stays
+// exact and is O(np) expected.
+func (r *Source) Binomial(n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	// Geometric skipping: the index gap between successes is Geometric(p).
+	// Expected work is O(np + 1) which is fine for the region sizes (<=10^4)
+	// used by the protocol and experiments.
+	k := 0
+	i := 0
+	logq := math.Log1p(-p)
+	for {
+		// Skip a Geometric(p) number of failures.
+		g := int(math.Floor(math.Log(1-r.Float64()) / logq))
+		i += g + 1
+		if i > n {
+			return k
+		}
+		k++
+	}
+}
+
+// Poisson returns a draw from Poisson(lambda). It panics if lambda < 0.
+//
+// Knuth's multiplication method is used for lambda <= 30; larger lambdas sum
+// independent Poisson halves, which keeps the method exact without needing
+// floating-point rejection machinery.
+func (r *Source) Poisson(lambda float64) int {
+	if lambda < 0 {
+		panic("rng: Poisson with lambda < 0")
+	}
+	if lambda == 0 {
+		return 0
+	}
+	if lambda > 30 {
+		// Poisson(a+b) = Poisson(a) + Poisson(b) for independent draws.
+		half := lambda / 2
+		return r.Poisson(half) + r.Poisson(lambda-half)
+	}
+	limit := math.Exp(-lambda)
+	k := 0
+	prod := r.Float64()
+	for prod > limit {
+		k++
+		prod *= r.Float64()
+	}
+	return k
+}
+
+// Pick returns a uniformly random element index of a collection of size n,
+// excluding the index self (pass a negative self to exclude nothing). It
+// panics if no valid index exists.
+func (r *Source) Pick(n, self int) int {
+	if self < 0 || self >= n {
+		return r.Intn(n)
+	}
+	if n < 2 {
+		panic("rng: Pick with no candidate other than self")
+	}
+	k := r.Intn(n - 1)
+	if k >= self {
+		k++
+	}
+	return k
+}
+
+// Jitter returns a value uniform in [d*(1-frac), d*(1+frac)]. Negative
+// results are clamped to zero. It is used to desynchronize periodic timers.
+func (r *Source) Jitter(d float64, frac float64) float64 {
+	if frac <= 0 {
+		return d
+	}
+	v := d * (1 - frac + 2*frac*r.Float64())
+	if v < 0 {
+		return 0
+	}
+	return v
+}

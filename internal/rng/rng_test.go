@@ -1,0 +1,224 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: sources with equal seeds diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sources with different seeds matched on %d/100 draws", same)
+	}
+}
+
+func TestReseedRestoresStream(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("draw %d after Reseed: got %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	var nonZero bool
+	for i := 0; i < 64; i++ {
+		if r.Uint64() != 0 {
+			nonZero = true
+		}
+	}
+	if !nonZero {
+		t.Fatal("seed 0 produced an all-zero stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	c1again := parent.Split(1)
+
+	// Same label twice from an unchanged parent yields the same stream.
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c1again.Uint64() {
+			t.Fatal("Split with equal labels is not deterministic")
+		}
+	}
+	// Distinct labels yield distinct streams.
+	c1 = parent.Split(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling streams matched on %d/100 draws", same)
+	}
+}
+
+func TestSplitDoesNotPerturbParent(t *testing.T) {
+	a := New(5)
+	b := New(5)
+	_ = a.Split(123)
+	_ = a.Split(456)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent stream")
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(3)
+	if err := quick.Check(func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(19)
+	const n, trials = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Fatalf("Perm first-element %d appeared %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestShuffleMatchesShuffleInts(t *testing.T) {
+	a := New(23)
+	b := New(23)
+	x := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	y := append([]int(nil), x...)
+	a.ShuffleInts(x)
+	b.Shuffle(len(y), func(i, j int) { y[i], y[j] = y[j], y[i] })
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("Shuffle variants diverged: %v vs %v", x, y)
+		}
+	}
+}
+
+func TestUniformityChiSquared(t *testing.T) {
+	// Coarse chi-squared check across 16 buckets. The threshold is the 99.9%
+	// quantile of chi^2 with 15 degrees of freedom (~37.7).
+	r := New(29)
+	const buckets, n = 16, 160000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(n) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 37.7 {
+		t.Fatalf("chi-squared = %v exceeds 99.9%% quantile; distribution looks biased: %v", chi2, counts)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(100)
+	}
+	_ = sink
+}

@@ -1,0 +1,75 @@
+package rrmp
+
+import "repro/internal/stats"
+
+// Metrics tallies one member's protocol activity. All counters are updated
+// synchronously on the member's executor; read them after the simulation
+// quiesces (or from the member's goroutine in real-time mode).
+type Metrics struct {
+	// Delivered counts distinct data messages delivered to this member.
+	Delivered stats.Counter
+	// Duplicates counts re-deliveries of already received messages
+	// (duplicate repairs, redundant regional multicasts).
+	Duplicates stats.Counter
+
+	// LocalReqSent / LocalReqRecv count local-recovery NAKs (§2.2).
+	LocalReqSent stats.Counter
+	LocalReqRecv stats.Counter
+	// RemoteReqSent / RemoteReqRecv count remote-recovery NAKs (§2.2).
+	RemoteReqSent stats.Counter
+	RemoteReqRecv stats.Counter
+	// RepairsSent / RepairsRecv count retransmissions.
+	RepairsSent stats.Counter
+	RepairsRecv stats.Counter
+
+	// RegionalMulticasts counts repairs this member multicast into its
+	// region after receiving them from a remote region; Suppressed counts
+	// pending regional multicasts cancelled by the back-off scheme.
+	RegionalMulticasts   stats.Counter
+	SuppressedMulticasts stats.Counter
+
+	// SearchesStarted counts search episodes this member initiated on a
+	// remote request for a discarded message (§3.3); SearchForwards counts
+	// SEARCH messages sent (initial and retries); SearchJoins counts
+	// searches joined on behalf of another member; SearchServed counts
+	// searches this member terminated from its buffer; SearchFailures
+	// counts searches abandoned after MaxSearchTries.
+	SearchesStarted stats.Counter
+	SearchForwards  stats.Counter
+	SearchJoins     stats.Counter
+	SearchServed    stats.Counter
+	SearchFailures  stats.Counter
+	// HavesSent / HavesRecv count "I have the message" notices.
+	HavesSent stats.Counter
+	HavesRecv stats.Counter
+
+	// QueriesSent counts multicast bufferer queries (the §3.3 rejected
+	// design, SearchMulticastQuery); QueryReplies counts repair+HAVE
+	// replies actually transmitted; SuppressedReplies counts replies
+	// cancelled by another member's HAVE during back-off. The A3 ablation
+	// contrasts QueryReplies with the random walk's single repair.
+	QueriesSent       stats.Counter
+	QueryReplies      stats.Counter
+	SuppressedReplies stats.Counter
+
+	// WaitersRecorded counts remote requests remembered for later relay;
+	// WaiterRelays counts repairs forwarded to recorded waiters (§2.2).
+	WaitersRecorded stats.Counter
+	WaiterRelays    stats.Counter
+
+	// HandoffsSent / HandoffsRecv count long-term buffer transfers on
+	// voluntary leave (§3.2).
+	HandoffsSent stats.Counter
+	HandoffsRecv stats.Counter
+
+	// LocalGiveUps / RemoteGiveUps count recovery phases that exhausted
+	// their retry budgets.
+	LocalGiveUps  stats.Counter
+	RemoteGiveUps stats.Counter
+
+	// RecoveryLatency records detect→recover times in milliseconds.
+	RecoveryLatency stats.Histogram
+	// BufferingTime records store→evict times in milliseconds (all
+	// eviction reasons except handoff).
+	BufferingTime stats.Histogram
+}

@@ -1,0 +1,160 @@
+package rrmp
+
+import "time"
+
+// SearchMode selects how a member locates a bufferer for a discarded
+// message (§3.3).
+type SearchMode int
+
+// Search modes.
+const (
+	// SearchRandomWalk is the paper's adopted design: forward the request
+	// to one random member at a time, with RTT retries; non-holders join.
+	SearchRandomWalk SearchMode = iota + 1
+	// SearchMulticastQuery is the design §3.3 rejects: multicast the query
+	// in the region and have holders reply after a back-off proportional
+	// to C. When the message is not yet idle everywhere, far more than C
+	// members hold it and replies implode (ablation A3 measures this).
+	SearchMulticastQuery
+)
+
+// Params are the protocol's tunables. The zero value is not usable; start
+// from DefaultParams (the paper's §4 settings) and override fields.
+type Params struct {
+	// IntraRTT is the member's estimate of the round-trip time to a peer in
+	// its own region, used for local-recovery and search retry timers
+	// (paper: 10 ms).
+	IntraRTT time.Duration
+	// ParentRTT is the estimated round-trip time to a member of the parent
+	// region, used for remote-recovery retry timers.
+	ParentRTT time.Duration
+	// IdleThreshold is T, the quiet period after which a buffered message
+	// is considered idle (paper §3.1: a small multiple of the maximum
+	// intra-region RTT; 4× in the evaluation).
+	IdleThreshold time.Duration
+	// C is the expected number of long-term bufferers per region (§3.2).
+	C float64
+	// Lambda is the expected number of remote requests sent per region per
+	// retry round when an entire region misses a message (§2.2).
+	Lambda float64
+	// LongTermTTL bounds unused long-term retention ("eventually even a
+	// long-term bufferer may decide to discard", §3.2). Zero means forever.
+	LongTermTTL time.Duration
+	// RepairBackoffMax, when positive, delays the regional multicast of a
+	// remotely received repair by a uniform time in (0, RepairBackoffMax]
+	// so that concurrent receivers can suppress duplicates ([14]'s
+	// randomized back-off). Zero multicasts immediately.
+	RepairBackoffMax time.Duration
+	// SessionInterval is the sender's session-message period; session
+	// messages let receivers detect the loss of the last messages in a
+	// burst (§2.1).
+	SessionInterval time.Duration
+	// RetryGrace is added to every RTT-based retry timer so that a reply
+	// arriving at exactly the estimated RTT wins the race against the
+	// retransmission timer (real deployments get this slack from RTT
+	// estimation conservatism). Zero selects IntraRTT/20.
+	RetryGrace time.Duration
+	// MaxLocalTries, MaxRemoteTries and MaxSearchTries bound retries so a
+	// simulation with an unrecoverable loss terminates; the paper assumes
+	// unbounded retries. Exhaustion is counted in Metrics, never silent.
+	MaxLocalTries  int
+	MaxRemoteTries int
+	MaxSearchTries int
+	// SearchMode selects random-walk search (the paper's design, default)
+	// or the rejected multicast-query alternative.
+	SearchMode SearchMode
+	// QueryBackoffMax is the reply back-off window for
+	// SearchMulticastQuery. Zero selects C × IntraRTT, the "proportional
+	// to C" rule §3.3 shows to be inadequate.
+	QueryBackoffMax time.Duration
+	// StartSeq is the highest sequence number this member should NOT
+	// attempt to recover: members present from the beginning use 0; late
+	// joiners set it to the sender's current top sequence so they only
+	// take responsibility from their join point onwards.
+	StartSeq uint64
+	// RecoverOnRemoteEvidence, when true (the default), lets a remote
+	// request or handoff for an unseen sequence number advance loss
+	// detection: the PDU proves the message exists. The paper's member
+	// merely records the waiter; a session message would trigger the same
+	// recovery moments later.
+	RecoverOnRemoteEvidence bool
+}
+
+// Default parameter values (the paper's evaluation settings where given).
+const (
+	DefaultIntraRTT        = 10 * time.Millisecond
+	DefaultParentRTT       = 100 * time.Millisecond
+	DefaultC               = 6.0
+	DefaultLambda          = 1.0
+	DefaultLongTermTTL     = 60 * time.Second
+	DefaultSessionInterval = 100 * time.Millisecond
+	DefaultMaxTries        = 64
+)
+
+// DefaultParams returns the paper's defaults: intra-region RTT 10 ms, idle
+// threshold 4×RTT = 40 ms, C = 6, λ = 1.
+func DefaultParams() Params {
+	return Params{
+		IntraRTT:                DefaultIntraRTT,
+		ParentRTT:               DefaultParentRTT,
+		IdleThreshold:           4 * DefaultIntraRTT,
+		C:                       DefaultC,
+		Lambda:                  DefaultLambda,
+		LongTermTTL:             DefaultLongTermTTL,
+		SessionInterval:         DefaultSessionInterval,
+		MaxLocalTries:           DefaultMaxTries,
+		MaxRemoteTries:          DefaultMaxTries,
+		MaxSearchTries:          DefaultMaxTries,
+		RecoverOnRemoteEvidence: true,
+	}
+}
+
+// withDefaults fills unset fields from DefaultParams so that partially
+// specified Params behave sensibly.
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.IntraRTT <= 0 {
+		p.IntraRTT = d.IntraRTT
+	}
+	if p.ParentRTT <= 0 {
+		p.ParentRTT = d.ParentRTT
+	}
+	if p.IdleThreshold <= 0 {
+		p.IdleThreshold = 4 * p.IntraRTT
+	}
+	if p.Lambda <= 0 {
+		p.Lambda = d.Lambda
+	}
+	if p.SessionInterval <= 0 {
+		p.SessionInterval = d.SessionInterval
+	}
+	if p.RetryGrace <= 0 {
+		p.RetryGrace = p.IntraRTT / 20
+	}
+	if p.SearchMode == 0 {
+		p.SearchMode = SearchRandomWalk
+	}
+	if p.QueryBackoffMax <= 0 {
+		c := p.C
+		if c < 1 {
+			c = 1
+		}
+		p.QueryBackoffMax = time.Duration(c * float64(p.IntraRTT))
+	}
+	if p.MaxLocalTries <= 0 {
+		p.MaxLocalTries = d.MaxLocalTries
+	}
+	if p.MaxRemoteTries <= 0 {
+		p.MaxRemoteTries = d.MaxRemoteTries
+	}
+	if p.MaxSearchTries <= 0 {
+		p.MaxSearchTries = d.MaxSearchTries
+	}
+	// C, Lambda-zero, LongTermTTL=0 and StartSeq=0 are meaningful values
+	// (no long-term election, no TTL, recover-from-start), so they are
+	// left alone. C defaults only when negative.
+	if p.C < 0 {
+		p.C = 0
+	}
+	return p
+}

@@ -1,0 +1,163 @@
+package rrmp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// TestConvergenceProperty: for arbitrary seeds, loss rates up to 50%, and
+// region sizes, a group running with C = n (certain long-term bufferers)
+// delivers every published message to every member. This is the protocol's
+// core guarantee in the regime where §5's probabilistic caveat vanishes.
+func TestConvergenceProperty(t *testing.T) {
+	prop := func(seedRaw uint16, nRaw, lossRaw, msgsRaw uint8) bool {
+		n := int(nRaw%20) + 5              // 5..24 members
+		lossP := float64(lossRaw%51) / 100 // 0..0.50
+		msgs := int(msgsRaw%4) + 1         // 1..4 messages
+		seed := uint64(seedRaw) + 1
+
+		topo, err := topology.SingleRegion(n)
+		if err != nil {
+			return false
+		}
+		params := DefaultParams()
+		params.C = float64(n)
+		c := newClusterQuiet(topo, params, seed, &netsim.BernoulliLoss{
+			P:    lossP,
+			Only: map[wire.Type]bool{wire.TypeData: true},
+			Rng:  rng.New(seed ^ 0xff),
+		})
+		c.sender.StartSessions()
+		for i := 0; i < msgs; i++ {
+			i := i
+			c.sim.At(time.Duration(i)*15*time.Millisecond, func() { c.sender.Publish([]byte{byte(i)}) })
+		}
+		c.sim.RunUntil(4 * time.Second)
+		for seq := uint64(1); seq <= uint64(msgs); seq++ {
+			id := wire.MessageID{Source: topo.Sender(), Seq: seq}
+			if c.deliveredCount(id) != n {
+				return false
+			}
+		}
+		// Invariant: nobody double-delivers (Delivered counts distinct).
+		var delivered int64
+		for _, m := range c.members {
+			delivered += m.Metrics().Delivered.Value()
+		}
+		return delivered == int64(n*msgs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchAlwaysResolvesProperty: for arbitrary placements with at least
+// one long-term bufferer, a remote request eventually produces the repair.
+func TestSearchAlwaysResolvesProperty(t *testing.T) {
+	prop := func(seedRaw uint16, nRaw, bRaw uint8) bool {
+		n := int(nRaw%40) + 10 // 10..49
+		b := int(bRaw)%n + 1   // 1..n bufferers
+		seed := uint64(seedRaw) + 1
+
+		topo, err := topology.Chain(n, 1)
+		if err != nil {
+			return false
+		}
+		params := DefaultParams()
+		params.LongTermTTL = 0
+		c := newClusterQuiet(topo, params, seed, nil)
+		id := wire.MessageID{Source: topo.Sender(), Seq: 1}
+		region := topo.Members(0)
+		pick := rng.New(seed).Split(7)
+		perm := pick.Perm(n)
+		holders := make(map[topology.NodeID]bool, b)
+		for i := 0; i < b; i++ {
+			holders[region[perm[i]]] = true
+		}
+		for _, node := range region {
+			if holders[node] {
+				c.members[node].InjectLongTerm(id, []byte("p"))
+			} else {
+				c.members[node].InjectDiscarded(id)
+			}
+		}
+		requester := topo.MemberAt(1, 0)
+		target := region[pick.Intn(n)]
+		c.net.Unicast(requester, target, wire.Message{
+			Type: wire.TypeRemoteRequest, From: requester, ID: id, Origin: requester,
+		})
+		c.sim.RunUntil(20 * time.Second)
+		return c.members[requester].HasReceived(id)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuiescenceProperty: after delivery completes and sessions stop, the
+// simulation drains — no protocol component spins forever.
+func TestQuiescenceProperty(t *testing.T) {
+	prop := func(seedRaw uint16, lossRaw uint8) bool {
+		seed := uint64(seedRaw) + 1
+		lossP := float64(lossRaw%31) / 100
+		topo, err := topology.SingleRegion(12)
+		if err != nil {
+			return false
+		}
+		params := DefaultParams()
+		params.C = 12
+		params.LongTermTTL = 500 * time.Millisecond
+		c := newClusterQuiet(topo, params, seed, &netsim.BernoulliLoss{
+			P:    lossP,
+			Only: map[wire.Type]bool{wire.TypeData: true},
+			Rng:  rng.New(seed ^ 0xaa),
+		})
+		c.sender.Publish([]byte("q"))
+		c.sim.RunUntil(2 * time.Second)
+		// No sessions were started; the event queue must be empty or
+		// near-empty (only bounded-retry stragglers), and bounded-draining.
+		c.sim.MustQuiesce(200_000)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newClusterQuiet builds a cluster without requiring *testing.T (usable
+// inside quick.Check properties).
+func newClusterQuiet(topo *topology.Topology, params Params, seed uint64, loss netsim.LossModel) *cluster {
+	s := sim.New()
+	lat := netsim.HierLatency{Topo: topo, IntraOneWay: 5 * time.Millisecond, InterOneWay: 50 * time.Millisecond}
+	net := netsim.New(s, lat, loss)
+	root := rng.New(seed)
+	c := &cluster{sim: s, net: net, topo: topo, members: make(map[topology.NodeID]*Member)}
+	for r := 0; r < topo.NumRegions(); r++ {
+		c.all = append(c.all, topo.Members(topology.RegionID(r))...)
+	}
+	for _, n := range c.all {
+		view, err := topo.ViewOf(n)
+		if err != nil {
+			panic(err)
+		}
+		m := NewMember(Config{
+			View:      view,
+			Transport: &NetTransport{Net: net, Self: n, Group: c.all},
+			Sched:     s,
+			Rng:       root.Split(uint64(n) + 1),
+			Params:    params,
+		})
+		c.members[n] = m
+		member := m
+		net.Register(n, func(p netsim.Packet) { member.Receive(p.From, p.Msg) })
+	}
+	c.sender = NewSender(c.members[topo.Sender()])
+	return c
+}

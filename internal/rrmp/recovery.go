@@ -1,0 +1,134 @@
+package rrmp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// recovery is one in-flight loss-recovery episode. The two phases run
+// concurrently (§2.2): local recovery asks random region neighbors with
+// RTT-based retries; remote recovery flips a λ/n coin per round and asks a
+// random parent-region member.
+type recovery struct {
+	id          wire.MessageID
+	detectedAt  time.Duration
+	localTries  int
+	remoteTries int
+	localTimer  clock.Timer
+	remoteTimer clock.Timer
+}
+
+func (r *recovery) stop() {
+	if r.localTimer != nil {
+		r.localTimer.Stop()
+		r.localTimer = nil
+	}
+	if r.remoteTimer != nil {
+		r.remoteTimer.Stop()
+		r.remoteTimer = nil
+	}
+}
+
+// noteTop advances loss detection for src up to sequence top: every
+// unreceived sequence in (maxSeen, top] is a detected loss (§2.1: gaps in
+// the sequence space, plus session messages for burst tails).
+func (m *Member) noteTop(src topology.NodeID, top uint64) {
+	st := m.source(src)
+	if top <= st.maxSeen {
+		return
+	}
+	for seq := st.maxSeen + 1; seq <= top; seq++ {
+		if !st.received[seq] {
+			m.startRecovery(wire.MessageID{Source: src, Seq: seq})
+		}
+	}
+	st.maxSeen = top
+}
+
+// StartRecovery begins loss recovery for id as if the member had just
+// detected the loss. It is exported for the experiment harness, which uses
+// it to reproduce §4's "all other members simultaneously detect the loss".
+// It is a no-op if the message was already received or recovery is active.
+func (m *Member) StartRecovery(id wire.MessageID) {
+	if m.left {
+		return
+	}
+	m.startRecovery(id)
+}
+
+func (m *Member) startRecovery(id wire.MessageID) {
+	if m.source(id.Source).received[id.Seq] {
+		return
+	}
+	if _, ok := m.recoveries[id]; ok {
+		return
+	}
+	rec := &recovery{id: id, detectedAt: m.cfg.Sched.Now()}
+	m.recoveries[id] = rec
+	m.trace("DETECT", id.String())
+	m.localAttempt(rec)
+	if len(m.cfg.View.ParentMembers) > 0 {
+		m.remoteAttempt(rec)
+	}
+}
+
+// Recovering reports whether a recovery for id is in flight (used by tests
+// and the harness).
+func (m *Member) Recovering(id wire.MessageID) bool {
+	_, ok := m.recoveries[id]
+	return ok
+}
+
+// localAttempt sends one local-recovery request to a uniformly random
+// region neighbor and arms the RTT retry timer (§2.2).
+func (m *Member) localAttempt(rec *recovery) {
+	if m.recoveries[rec.id] != rec {
+		return
+	}
+	peers := m.cfg.View.RegionPeers
+	if len(peers) == 0 {
+		return // single-member region: only remote recovery can help
+	}
+	if rec.localTries >= m.params.MaxLocalTries {
+		m.metrics.LocalGiveUps.Inc()
+		return
+	}
+	rec.localTries++
+	q := peers[m.cfg.Rng.Intn(len(peers))]
+	m.metrics.LocalReqSent.Inc()
+	m.trace("LOCAL-REQ", fmt.Sprintf("id=%v to=%d try=%d", rec.id, q, rec.localTries))
+	m.cfg.Transport.Send(q, wire.Message{Type: wire.TypeLocalRequest, From: m.self, ID: rec.id})
+	rec.localTimer = m.cfg.Sched.After(m.params.IntraRTT+m.params.RetryGrace, func() { m.localAttempt(rec) })
+}
+
+// remoteAttempt runs one remote-recovery round: with probability λ/n send a
+// remote request to a random parent-region member; in all cases arm the
+// retry timer (§2.2: "This timer is set by any receiver missing a message,
+// regardless whether it actually sent out a request or not").
+func (m *Member) remoteAttempt(rec *recovery) {
+	if m.recoveries[rec.id] != rec {
+		return
+	}
+	parents := m.cfg.View.ParentMembers
+	if len(parents) == 0 {
+		return
+	}
+	if rec.remoteTries >= m.params.MaxRemoteTries {
+		m.metrics.RemoteGiveUps.Inc()
+		return
+	}
+	rec.remoteTries++
+	regionSize := len(m.cfg.View.RegionPeers) + 1
+	p := m.params.Lambda / float64(regionSize)
+	if m.cfg.Rng.Bernoulli(p) {
+		r := parents[m.cfg.Rng.Intn(len(parents))]
+		m.metrics.RemoteReqSent.Inc()
+		m.trace("REMOTE-REQ", fmt.Sprintf("id=%v to=%d try=%d", rec.id, r, rec.remoteTries))
+		m.cfg.Transport.Send(r, wire.Message{Type: wire.TypeRemoteRequest, From: m.self, ID: rec.id, Origin: m.self})
+	}
+	rec.remoteTimer = m.cfg.Sched.After(m.params.ParentRTT+m.params.RetryGrace, func() { m.remoteAttempt(rec) })
+}

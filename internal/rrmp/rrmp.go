@@ -1,0 +1,512 @@
+// Package rrmp implements the Randomized Reliable Multicast Protocol engine
+// the paper builds its buffer management on: randomized local and remote
+// error recovery (§2), feedback-based two-phase buffering (§3, via
+// internal/core), the search-for-bufferer protocol (§3.3), and long-term
+// buffer handoff on voluntary leave (§3.2).
+//
+// A Member is a single-threaded state machine driven by Receive (incoming
+// PDUs) and timers from an injected clock.Scheduler. It performs I/O only
+// through the Transport interface. In simulation, thousands of members run
+// interleaved on one goroutine over virtual time; on real networks each
+// member runs on its own executor goroutine (internal/udptransport). The
+// member code is identical in both bindings.
+package rrmp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Transport lets a member send PDUs. Implementations must deliver
+// asynchronously (never call back into the member synchronously from Send),
+// which both the simulator and the UDP binding guarantee.
+type Transport interface {
+	// Send transmits msg to one peer.
+	Send(to topology.NodeID, msg wire.Message)
+	// Broadcast transmits msg to the entire multicast group (the initial
+	// IP multicast). Only the sender uses this.
+	Broadcast(msg wire.Message)
+}
+
+// Hooks are optional experiment/instrumentation callbacks. All hooks run
+// synchronously on the member's executor.
+type Hooks struct {
+	// OnDeliver fires once per distinct data message delivered.
+	OnDeliver func(id wire.MessageID, at time.Duration)
+	// OnEvict mirrors the buffer's eviction callback.
+	OnEvict func(e *core.Entry, reason core.EvictReason)
+	// OnPromote mirrors the buffer's long-term promotion callback.
+	OnPromote func(e *core.Entry)
+	// OnSearchResolved fires when this member sends a repair to a remote
+	// requester, either straight from its buffer or at the end of a search
+	// episode (§3.3). Figure 8/9 measure the time between remote-request
+	// arrival and this event.
+	OnSearchResolved func(id wire.MessageID, origin topology.NodeID)
+	// OnRecovered fires when a message loss detected at this member is
+	// repaired; latency is recover-time minus detect-time.
+	OnRecovered func(id wire.MessageID, latency time.Duration)
+}
+
+// Config assembles a member.
+type Config struct {
+	// View is this member's partial group knowledge (own region + parent
+	// region, §2.1).
+	View topology.View
+	// Transport sends PDUs; required.
+	Transport Transport
+	// Sched supplies time and timers; required.
+	Sched clock.Scheduler
+	// Rng is this member's private randomness stream; required.
+	Rng *rng.Source
+	// Params tunes the protocol; zero fields take defaults.
+	Params Params
+	// Policy overrides the buffering policy. Nil selects the paper's
+	// two-phase policy built from Params.
+	Policy core.Policy
+	// Tracer observes protocol events; nil means no tracing.
+	Tracer trace.Tracer
+	// Hooks are optional instrumentation callbacks.
+	Hooks Hooks
+}
+
+// sourceState tracks per-sender reception: the highest sequence observed
+// and the set of sequences ever received (which outlives buffer eviction —
+// "received but discarded" is a distinct protocol state, §3.3).
+type sourceState struct {
+	maxSeen  uint64
+	received map[uint64]bool
+}
+
+// Member is one RRMP group member. Not safe for concurrent use; drive it
+// from a single goroutine.
+type Member struct {
+	cfg    Config
+	params Params
+	self   topology.NodeID
+
+	buf     *core.Buffer
+	locator interface {
+		Bufferers(id wire.MessageID) []topology.NodeID
+	} // non-nil only under the deterministic hash policy (§3.4)
+
+	inRegion   map[topology.NodeID]bool // own region membership incl. self
+	sources    map[topology.NodeID]*sourceState
+	recoveries map[wire.MessageID]*recovery
+	waiters    map[wire.MessageID][]topology.NodeID
+	searches   map[wire.MessageID]*searchState
+	pendingMC  map[wire.MessageID]clock.Timer // back-off regional multicasts
+	// knownBufferer caches the sender of the last HAVE per message, so a
+	// search request arriving after the terminating HAVE routes straight to
+	// the announced bufferer instead of re-igniting the random walk. The
+	// entry is consumed on use (the bufferer may since have discarded).
+	knownBufferer map[wire.MessageID]topology.NodeID
+	// pendingReply holds back-off timers for multicast-query replies
+	// (SearchMulticastQuery mode only).
+	pendingReply map[wire.MessageID]clock.Timer
+	// served records when this member last repaired a given (message,
+	// origin) pair from a search, so the burst of in-flight SEARCH PDUs
+	// that race the terminating HAVE does not each trigger another repair.
+	served map[servedKey]time.Duration
+
+	metrics Metrics
+	left    bool
+}
+
+// NewMember constructs a member. It panics on missing required
+// dependencies (programming errors).
+func NewMember(cfg Config) *Member {
+	if cfg.Transport == nil {
+		panic("rrmp: Config.Transport is required")
+	}
+	if cfg.Sched == nil {
+		panic("rrmp: Config.Sched is required")
+	}
+	if cfg.Rng == nil {
+		panic("rrmp: Config.Rng is required")
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Nop{}
+	}
+	m := &Member{
+		cfg:           cfg,
+		params:        cfg.Params.withDefaults(),
+		self:          cfg.View.Self,
+		inRegion:      make(map[topology.NodeID]bool, len(cfg.View.RegionPeers)+1),
+		sources:       make(map[topology.NodeID]*sourceState),
+		recoveries:    make(map[wire.MessageID]*recovery),
+		waiters:       make(map[wire.MessageID][]topology.NodeID),
+		searches:      make(map[wire.MessageID]*searchState),
+		pendingMC:     make(map[wire.MessageID]clock.Timer),
+		knownBufferer: make(map[wire.MessageID]topology.NodeID),
+		pendingReply:  make(map[wire.MessageID]clock.Timer),
+		served:        make(map[servedKey]time.Duration),
+	}
+	m.inRegion[m.self] = true
+	for _, p := range cfg.View.RegionPeers {
+		m.inRegion[p] = true
+	}
+
+	policy := cfg.Policy
+	if policy == nil {
+		regionSize := len(cfg.View.RegionPeers) + 1
+		policy = core.NewTwoPhase(m.params.IdleThreshold, m.params.C, regionSize, m.params.LongTermTTL)
+	}
+	if loc, ok := policy.(interface {
+		Bufferers(id wire.MessageID) []topology.NodeID
+	}); ok {
+		m.locator = loc
+	}
+	m.buf = core.NewBuffer(core.Config{
+		Policy: policy,
+		Sched:  cfg.Sched,
+		Rng:    cfg.Rng.Split(0x6275666665726e67), // "bufferng": buffer's own stream
+		OnEvict: func(e *core.Entry, r core.EvictReason) {
+			if r != core.EvictHandoff {
+				m.metrics.BufferingTime.AddDuration(cfg.Sched.Now() - e.StoredAt)
+			}
+			if cfg.Hooks.OnEvict != nil {
+				cfg.Hooks.OnEvict(e, r)
+			}
+		},
+		OnPromote: cfg.Hooks.OnPromote,
+	})
+	return m
+}
+
+// ID returns the member's node id.
+func (m *Member) ID() topology.NodeID { return m.self }
+
+// Buffer exposes the member's message buffer (read-mostly; experiments
+// sample occupancy and long-term counts).
+func (m *Member) Buffer() *core.Buffer { return m.buf }
+
+// Metrics returns the member's live metrics.
+func (m *Member) Metrics() *Metrics { return &m.metrics }
+
+// Left reports whether the member has left the group.
+func (m *Member) Left() bool { return m.left }
+
+// HasReceived reports whether id was ever delivered to this member
+// (it may since have been discarded from the buffer).
+func (m *Member) HasReceived(id wire.MessageID) bool {
+	st, ok := m.sources[id.Source]
+	return ok && st.received[id.Seq]
+}
+
+// Prefix returns the contiguous received prefix for src: the largest k such
+// that every sequence in (StartSeq, k] has been received. Stability
+// detection baselines gossip this value as their message-history digest.
+func (m *Member) Prefix(src topology.NodeID) uint64 {
+	st, ok := m.sources[src]
+	if !ok {
+		return m.params.StartSeq
+	}
+	k := m.params.StartSeq
+	for st.received[k+1] {
+		k++
+	}
+	return k
+}
+
+// MaxSeen returns the highest sequence number observed from src.
+func (m *Member) MaxSeen(src topology.NodeID) uint64 {
+	st, ok := m.sources[src]
+	if !ok {
+		return m.params.StartSeq
+	}
+	return st.maxSeen
+}
+
+// SetDeliverHook (re)binds the delivery callback after construction.
+// Experiment harnesses use this when the hook must close over state that
+// exists only once the full cluster is wired.
+func (m *Member) SetDeliverHook(fn func(id wire.MessageID, at time.Duration)) {
+	m.cfg.Hooks.OnDeliver = fn
+}
+
+// SetSearchResolvedHook (re)binds the search-resolution callback after
+// construction; see SetDeliverHook.
+func (m *Member) SetSearchResolvedHook(fn func(id wire.MessageID, origin topology.NodeID)) {
+	m.cfg.Hooks.OnSearchResolved = fn
+}
+
+// source returns (creating if needed) the reception state for src, with the
+// loss-detection baseline at Params.StartSeq.
+func (m *Member) source(src topology.NodeID) *sourceState {
+	st, ok := m.sources[src]
+	if !ok {
+		st = &sourceState{maxSeen: m.params.StartSeq, received: make(map[uint64]bool)}
+		m.sources[src] = st
+	}
+	return st
+}
+
+// Receive dispatches one incoming PDU. It is the single entry point for
+// network input.
+func (m *Member) Receive(from topology.NodeID, msg wire.Message) {
+	if m.left {
+		return
+	}
+	switch msg.Type {
+	case wire.TypeData:
+		m.onData(msg)
+	case wire.TypeSession:
+		m.onSession(msg)
+	case wire.TypeLocalRequest:
+		m.onLocalRequest(from, msg)
+	case wire.TypeRemoteRequest:
+		m.onRemoteRequest(from, msg)
+	case wire.TypeRepair:
+		m.onRepair(from, msg)
+	case wire.TypeSearch:
+		m.onSearch(from, msg)
+	case wire.TypeQuery:
+		m.onQuery(from, msg)
+	case wire.TypeHave:
+		m.onHave(from, msg)
+	case wire.TypeHandoff:
+		m.onHandoff(from, msg)
+	default:
+		// Unknown/baseline-only PDUs are ignored by the RRMP engine.
+		m.trace("IGNORE", fmt.Sprintf("type=%v from=%d", msg.Type, from))
+	}
+}
+
+// onData handles the sender's initial multicast.
+func (m *Member) onData(msg wire.Message) {
+	m.deliver(msg.ID, msg.Payload, msg.From)
+}
+
+// onSession advances loss detection to the sender's announced top sequence
+// (§2.1: session messages catch the loss of the last message in a burst).
+func (m *Member) onSession(msg wire.Message) {
+	m.noteTop(msg.From, msg.TopSeq)
+}
+
+// onLocalRequest answers a local-recovery NAK if the message is buffered;
+// otherwise the request is ignored (§2.2). Either way the request is
+// feedback for the buffering algorithm when the entry exists (§3.1).
+func (m *Member) onLocalRequest(from topology.NodeID, msg wire.Message) {
+	m.metrics.LocalReqRecv.Inc()
+	e, ok := m.buf.Get(msg.ID)
+	if !ok {
+		return // §2.2: "Otherwise it ignores the request."
+	}
+	m.buf.OnRequest(msg.ID)
+	m.sendRepair(from, e)
+}
+
+// onRemoteRequest implements §3.3's three cases: buffered → repair;
+// never received → record waiter; received-but-discarded → search.
+func (m *Member) onRemoteRequest(from topology.NodeID, msg wire.Message) {
+	m.metrics.RemoteReqRecv.Inc()
+	id := msg.ID
+	if e, ok := m.buf.Get(id); ok {
+		m.buf.OnRequest(id)
+		m.sendRepair(from, e)
+		m.resolveSearch(id, from) // request landed on a holder: search time 0
+		return
+	}
+	st := m.source(id.Source)
+	if !st.received[id.Seq] {
+		// Never received: remember the requester and relay on receipt.
+		m.addWaiter(id, from)
+		if m.params.RecoverOnRemoteEvidence {
+			m.noteTop(id.Source, id.Seq)
+		}
+		return
+	}
+	// Received but discarded: search the region for a bufferer.
+	m.startSearch(id, from)
+}
+
+// onRepair handles a retransmission: deliver it, and if it arrived from a
+// remote region, multicast it into the local region so members sharing the
+// loss receive it (§2.2).
+func (m *Member) onRepair(from topology.NodeID, msg wire.Message) {
+	m.metrics.RepairsRecv.Inc()
+	fromLocal := m.inRegion[from]
+	isNew := m.deliver(msg.ID, msg.Payload, from)
+	switch {
+	case isNew && !fromLocal:
+		m.scheduleRegionalMulticast(msg.ID, msg.Payload)
+	case fromLocal:
+		// Seeing the repair multicast by a local peer suppresses our own
+		// pending regional multicast of the same message.
+		if t, ok := m.pendingMC[msg.ID]; ok {
+			t.Stop()
+			delete(m.pendingMC, msg.ID)
+			m.metrics.SuppressedMulticasts.Inc()
+		}
+	}
+}
+
+// onHandoff accepts a long-term buffer transfer from a leaving peer (§3.2).
+func (m *Member) onHandoff(_ topology.NodeID, msg wire.Message) {
+	m.metrics.HandoffsRecv.Inc()
+	id := msg.ID
+	st := m.source(id.Source)
+	if !st.received[id.Seq] {
+		// The transfer doubles as a delivery if we never had the message.
+		m.deliver(id, msg.Payload, msg.From)
+	}
+	m.buf.StoreLongTerm(id, msg.Payload)
+	m.trace("HANDOFF-RECV", id.String())
+}
+
+// deliver records a received message, stores it per the buffering policy,
+// completes any recovery, relays to waiters, and satisfies searches. It
+// returns false for duplicates.
+func (m *Member) deliver(id wire.MessageID, payload []byte, from topology.NodeID) bool {
+	st := m.source(id.Source)
+	if st.received[id.Seq] {
+		m.metrics.Duplicates.Inc()
+		return false
+	}
+	st.received[id.Seq] = true
+	now := m.cfg.Sched.Now()
+
+	m.buf.Store(id, payload)
+	m.metrics.Delivered.Inc()
+	m.trace("DELIVER", fmt.Sprintf("id=%v from=%d", id, from))
+
+	// Complete an in-flight recovery.
+	if rec, ok := m.recoveries[id]; ok {
+		rec.stop()
+		delete(m.recoveries, id)
+		latency := now - rec.detectedAt
+		m.metrics.RecoveryLatency.AddDuration(latency)
+		if m.cfg.Hooks.OnRecovered != nil {
+			m.cfg.Hooks.OnRecovered(id, latency)
+		}
+	}
+
+	// Relay to downstream members recorded as waiting (§2.2).
+	if ws := m.waiters[id]; len(ws) > 0 {
+		delete(m.waiters, id)
+		e, _ := m.buf.Get(id)
+		for _, w := range ws {
+			m.metrics.WaiterRelays.Inc()
+			m.sendRepair(w, e)
+		}
+	}
+
+	// Detect gaps below this sequence number.
+	m.noteTop(id.Source, id.Seq)
+
+	if m.cfg.Hooks.OnDeliver != nil {
+		m.cfg.Hooks.OnDeliver(id, now)
+	}
+	return true
+}
+
+// sendRepair transmits a buffered entry to one peer.
+func (m *Member) sendRepair(to topology.NodeID, e *core.Entry) {
+	m.metrics.RepairsSent.Inc()
+	m.cfg.Transport.Send(to, wire.Message{
+		Type:     wire.TypeRepair,
+		From:     m.self,
+		ID:       e.ID,
+		Payload:  e.Payload,
+		LongTerm: e.State == core.StateLongTerm,
+	})
+}
+
+// scheduleRegionalMulticast multicasts a remotely repaired message into the
+// local region, optionally after a randomized back-off that lets concurrent
+// receivers suppress duplicates (§2.2, [14]).
+func (m *Member) scheduleRegionalMulticast(id wire.MessageID, payload []byte) {
+	if len(m.cfg.View.RegionPeers) == 0 {
+		return
+	}
+	if _, ok := m.pendingMC[id]; ok {
+		return
+	}
+	if m.params.RepairBackoffMax <= 0 {
+		m.regionalMulticast(id, payload)
+		return
+	}
+	delay := time.Duration(m.cfg.Rng.Uint64n(uint64(m.params.RepairBackoffMax))) + 1
+	m.pendingMC[id] = m.cfg.Sched.After(delay, func() {
+		delete(m.pendingMC, id)
+		m.regionalMulticast(id, payload)
+	})
+}
+
+func (m *Member) regionalMulticast(id wire.MessageID, payload []byte) {
+	m.metrics.RegionalMulticasts.Inc()
+	m.trace("REGION-MC", id.String())
+	msg := wire.Message{Type: wire.TypeRepair, From: m.self, ID: id, Payload: payload}
+	for _, p := range m.cfg.View.RegionPeers {
+		m.cfg.Transport.Send(p, msg)
+	}
+}
+
+// addWaiter records a remote requester to relay to on receipt, without
+// duplicates.
+func (m *Member) addWaiter(id wire.MessageID, who topology.NodeID) {
+	for _, w := range m.waiters[id] {
+		if w == who {
+			return
+		}
+	}
+	m.metrics.WaitersRecorded.Inc()
+	m.waiters[id] = append(m.waiters[id], who)
+}
+
+// Leave removes the member from the group voluntarily: each long-term
+// buffered message is transferred to a randomly selected region peer so no
+// loss becomes unrecoverable (§3.2). The member then stops processing.
+func (m *Member) Leave() {
+	if m.left {
+		return
+	}
+	peers := m.cfg.View.RegionPeers
+	for _, e := range m.buf.TakeForHandoff() {
+		if len(peers) == 0 {
+			break // sole region member: nothing to transfer to
+		}
+		to := peers[m.cfg.Rng.Intn(len(peers))]
+		m.metrics.HandoffsSent.Inc()
+		m.trace("HANDOFF-SEND", fmt.Sprintf("id=%v to=%d", e.ID, to))
+		m.cfg.Transport.Send(to, wire.Message{
+			Type:     wire.TypeHandoff,
+			From:     m.self,
+			ID:       e.ID,
+			Payload:  e.Payload,
+			LongTerm: true,
+		})
+	}
+	for _, rec := range m.recoveries {
+		rec.stop()
+	}
+	m.recoveries = make(map[wire.MessageID]*recovery)
+	for _, s := range m.searches {
+		s.stop()
+	}
+	m.searches = make(map[wire.MessageID]*searchState)
+	for _, t := range m.pendingMC {
+		t.Stop()
+	}
+	m.pendingMC = make(map[wire.MessageID]clock.Timer)
+	for _, t := range m.pendingReply {
+		t.Stop()
+	}
+	m.pendingReply = make(map[wire.MessageID]clock.Timer)
+	m.buf.Close()
+	m.left = true
+}
+
+func (m *Member) trace(kind, detail string) {
+	if !m.cfg.Tracer.Enabled() {
+		return
+	}
+	m.cfg.Tracer.Emit(trace.Event{At: m.cfg.Sched.Now(), Node: m.self, Kind: kind, Detail: detail})
+}

@@ -1,0 +1,307 @@
+package rrmp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// servedKey identifies one (message, remote requester) search service.
+type servedKey struct {
+	id     wire.MessageID
+	origin topology.NodeID
+}
+
+// searchState is one search-for-bufferer episode (§3.3): this member was
+// asked for a message it received but has since discarded, and is probing
+// random region members for a surviving copy.
+type searchState struct {
+	id wire.MessageID
+	// origins are the remote requesters awaiting the repair. Usually one;
+	// multiple remote requests for the same discarded message merge.
+	origins   []topology.NodeID
+	startedAt time.Duration
+	tries     int
+	timer     clock.Timer
+}
+
+func (s *searchState) stop() {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+}
+
+func (s *searchState) addOrigin(o topology.NodeID) {
+	for _, x := range s.origins {
+		if x == o {
+			return
+		}
+	}
+	s.origins = append(s.origins, o)
+}
+
+func (s *searchState) dropOrigin(o topology.NodeID) {
+	for i, x := range s.origins {
+		if x == o {
+			s.origins = append(s.origins[:i], s.origins[i+1:]...)
+			return
+		}
+	}
+}
+
+// startSearch begins (or joins) a search episode on behalf of origin.
+func (m *Member) startSearch(id wire.MessageID, origin topology.NodeID) {
+	if s, ok := m.searches[id]; ok {
+		s.addOrigin(origin)
+		return
+	}
+	s := &searchState{id: id, origins: []topology.NodeID{origin}, startedAt: m.cfg.Sched.Now()}
+	m.searches[id] = s
+	m.metrics.SearchesStarted.Inc()
+	m.trace("SEARCH-START", fmt.Sprintf("id=%v origin=%d", id, origin))
+	if m.params.SearchMode == SearchMulticastQuery {
+		m.queryAttempt(s)
+		return
+	}
+	m.searchAttempt(s)
+}
+
+// queryAttempt multicasts the bufferer query in the region (§3.3's rejected
+// design). Retries re-multicast until a HAVE arrives or tries exhaust.
+func (m *Member) queryAttempt(s *searchState) {
+	if m.searches[s.id] != s {
+		return
+	}
+	if len(s.origins) == 0 || s.tries >= m.params.MaxSearchTries {
+		if len(s.origins) > 0 {
+			m.metrics.SearchFailures.Inc()
+		}
+		delete(m.searches, s.id)
+		return
+	}
+	s.tries++
+	for _, o := range s.origins {
+		m.metrics.QueriesSent.Inc()
+		msg := wire.Message{Type: wire.TypeQuery, From: m.self, ID: s.id, Origin: o}
+		for _, p := range m.cfg.View.RegionPeers {
+			m.cfg.Transport.Send(p, msg)
+		}
+	}
+	// Wait out the worst-case reply back-off plus a round trip before
+	// re-multicasting.
+	s.timer = m.cfg.Sched.After(m.params.QueryBackoffMax+m.params.IntraRTT+m.params.RetryGrace,
+		func() { m.queryAttempt(s) })
+}
+
+// onQuery handles a multicast bufferer query: holders schedule a reply
+// after a uniform back-off in (0, QueryBackoffMax], suppressed if another
+// member's HAVE for the same message arrives first.
+func (m *Member) onQuery(from topology.NodeID, msg wire.Message) {
+	id, origin := msg.ID, msg.Origin
+	e, ok := m.buf.Get(id)
+	if !ok {
+		// Non-holders stay silent under the multicast-query design; the
+		// querier re-multicasts if nobody answers.
+		return
+	}
+	m.buf.OnRequest(id)
+	if _, pending := m.pendingReply[id]; pending {
+		return
+	}
+	delay := time.Duration(m.cfg.Rng.Uint64n(uint64(m.params.QueryBackoffMax))) + 1
+	m.pendingReply[id] = m.cfg.Sched.After(delay, func() {
+		delete(m.pendingReply, id)
+		cur, still := m.buf.Get(id)
+		if !still {
+			return
+		}
+		_ = e
+		m.metrics.QueryReplies.Inc()
+		m.sendRepair(origin, cur)
+		m.announceHave(id, origin)
+		m.resolveSearch(id, origin)
+		m.trace("QUERY-REPLY", fmt.Sprintf("id=%v origin=%d via=%d", id, origin, from))
+	})
+}
+
+// searchAttempt forwards the search to the next candidate and arms the
+// retry timer. Under the paper's randomized scheme the candidate is a
+// uniformly random region peer; under the deterministic hash baseline
+// (§3.4) the candidates are the computable bufferer set, probed in rank
+// order, skipping the random walk entirely.
+func (m *Member) searchAttempt(s *searchState) {
+	if m.searches[s.id] != s {
+		return
+	}
+	if len(s.origins) == 0 {
+		delete(m.searches, s.id)
+		return
+	}
+	if s.tries >= m.params.MaxSearchTries {
+		m.metrics.SearchFailures.Inc()
+		m.trace("SEARCH-FAIL", s.id.String())
+		delete(m.searches, s.id)
+		return
+	}
+	var q topology.NodeID
+	var ok bool
+	if known, hit := m.knownBufferer[s.id]; hit && known != m.self {
+		// A HAVE identified a bufferer: route directly. The cache entry is
+		// consumed so a stale pointer (bufferer discarded since) degrades
+		// back to the random walk on the next attempt.
+		delete(m.knownBufferer, s.id)
+		q, ok = known, true
+	} else if m.locator != nil {
+		q, ok = m.nextDeterministicTarget(s)
+	} else {
+		q, ok = m.nextRandomTarget()
+	}
+	if !ok {
+		delete(m.searches, s.id)
+		return
+	}
+	s.tries++
+	m.metrics.SearchForwards.Inc()
+	m.trace("SEARCH-FWD", fmt.Sprintf("id=%v to=%d try=%d", s.id, q, s.tries))
+	// One SEARCH per origin so each awaiting requester is carried forward.
+	for _, o := range s.origins {
+		m.cfg.Transport.Send(q, wire.Message{Type: wire.TypeSearch, From: m.self, ID: s.id, Origin: o})
+	}
+	s.timer = m.cfg.Sched.After(m.params.IntraRTT+m.params.RetryGrace, func() { m.searchAttempt(s) })
+}
+
+func (m *Member) nextRandomTarget() (topology.NodeID, bool) {
+	peers := m.cfg.View.RegionPeers
+	if len(peers) == 0 {
+		return 0, false
+	}
+	return peers[m.cfg.Rng.Intn(len(peers))], true
+}
+
+// nextDeterministicTarget walks the hash-elected bufferer set in rank
+// order (§3.4: any member can compute the set locally).
+func (m *Member) nextDeterministicTarget(s *searchState) (topology.NodeID, bool) {
+	set := m.locator.Bufferers(s.id)
+	for i := s.tries; i < len(set)+s.tries; i++ {
+		cand := set[i%len(set)]
+		if cand != m.self {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// onSearch handles a forwarded search request: serve it from the buffer,
+// join the search, or (if never received) record the waiter and recover
+// (§3.3 and its footnote 4).
+func (m *Member) onSearch(from topology.NodeID, msg wire.Message) {
+	id, origin := msg.ID, msg.Origin
+	if e, ok := m.buf.Get(id); ok {
+		m.buf.OnRequest(id) // a use: keeps the long-term copy warm
+		// Search episodes spray redundant probes (retries, joiners whose
+		// in-flight PDUs race the terminating HAVE). Serve each remote
+		// requester at most once per round-trip window.
+		key := servedKey{id: id, origin: origin}
+		now := m.cfg.Sched.Now()
+		if at, ok := m.served[key]; ok && now-at <= 2*m.params.IntraRTT {
+			// Duplicate probe for an already-served requester: answer with
+			// a unicast HAVE (no payload) so the prober stops, without
+			// re-sending the repair or re-multicasting.
+			m.metrics.HavesSent.Inc()
+			m.cfg.Transport.Send(from, wire.Message{Type: wire.TypeHave, From: m.self, ID: id, Origin: origin})
+			return
+		}
+		if len(m.served) > 1024 {
+			// Lazy purge: entries matter only within the dedupe window.
+			for k, at := range m.served {
+				if now-at > 2*m.params.IntraRTT {
+					delete(m.served, k)
+				}
+			}
+		}
+		m.served[key] = now
+		m.metrics.SearchServed.Inc()
+		m.sendRepair(origin, e)
+		m.announceHave(id, origin)
+		m.resolveSearch(id, origin)
+		m.trace("SEARCH-SERVE", fmt.Sprintf("id=%v origin=%d via=%d", id, origin, from))
+		return
+	}
+	st := m.source(id.Source)
+	if !st.received[id.Seq] {
+		// Footnote 4: a member that never received the message recovers it
+		// itself; the recorded waiter gets the relay on receipt.
+		m.addWaiter(id, origin)
+		if m.params.RecoverOnRemoteEvidence {
+			m.noteTop(id.Source, id.Seq)
+		}
+		return
+	}
+	m.metrics.SearchJoins.Inc()
+	m.startSearch(id, origin)
+}
+
+// announceHave multicasts "I have the message" in the region, terminating
+// the search episode for origin (§3.3).
+func (m *Member) announceHave(id wire.MessageID, origin topology.NodeID) {
+	m.metrics.HavesSent.Inc()
+	msg := wire.Message{Type: wire.TypeHave, From: m.self, ID: id, Origin: origin}
+	for _, p := range m.cfg.View.RegionPeers {
+		m.cfg.Transport.Send(p, msg)
+	}
+}
+
+// onHave ends the local search episode for the served origin. If this
+// member's episode carries other origins, they are redirected straight to
+// the announcing bufferer rather than continuing the random walk.
+func (m *Member) onHave(from topology.NodeID, msg wire.Message) {
+	m.metrics.HavesRecv.Inc()
+	m.knownBufferer[msg.ID] = from
+	// The requester named in the HAVE has been served: holders receiving
+	// late probes for the same (message, origin) must not repair again.
+	m.served[servedKey{id: msg.ID, origin: msg.Origin}] = m.cfg.Sched.Now()
+	// Another member answered: suppress our own pending query reply.
+	if t, ok := m.pendingReply[msg.ID]; ok {
+		t.Stop()
+		delete(m.pendingReply, msg.ID)
+		m.metrics.SuppressedReplies.Inc()
+	}
+	s, ok := m.searches[msg.ID]
+	if !ok {
+		return
+	}
+	s.dropOrigin(msg.Origin)
+	if len(s.origins) == 0 {
+		s.stop()
+		delete(m.searches, msg.ID)
+		m.trace("SEARCH-END", fmt.Sprintf("id=%v via HAVE from=%d", msg.ID, from))
+		return
+	}
+	// Redirect remaining origins to the known bufferer.
+	for _, o := range s.origins {
+		m.metrics.SearchForwards.Inc()
+		m.cfg.Transport.Send(from, wire.Message{Type: wire.TypeSearch, From: m.self, ID: msg.ID, Origin: o})
+	}
+	s.stop()
+	delete(m.searches, msg.ID)
+}
+
+// resolveSearch reports a served remote requester to the hooks (the Fig. 8
+// and Fig. 9 measurement point) and clears the origin from any local
+// episode.
+func (m *Member) resolveSearch(id wire.MessageID, origin topology.NodeID) {
+	if s, ok := m.searches[id]; ok {
+		s.dropOrigin(origin)
+		if len(s.origins) == 0 {
+			s.stop()
+			delete(m.searches, id)
+		}
+	}
+	if m.cfg.Hooks.OnSearchResolved != nil {
+		m.cfg.Hooks.OnSearchResolved(id, origin)
+	}
+}

@@ -1,0 +1,139 @@
+// Package runner builds complete simulated RRMP deployments and drives the
+// experiments that regenerate every figure in the paper's evaluation (§4),
+// plus the ablations listed in DESIGN.md.
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/rrmp"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Paper §4 network constants: 10 ms round-trip within a region, and a much
+// larger inter-region latency.
+const (
+	IntraOneWay = 5 * time.Millisecond
+	InterOneWay = 50 * time.Millisecond
+)
+
+// ClusterConfig describes a simulated deployment.
+type ClusterConfig struct {
+	// Topo is the group structure; required.
+	Topo *topology.Topology
+	// Params tunes the protocol (zero fields default to the paper's §4
+	// values).
+	Params rrmp.Params
+	// Seed roots all randomness for the run.
+	Seed uint64
+	// Loss is the network loss model (nil = lossless).
+	Loss netsim.LossModel
+	// Latency overrides the default hierarchical model
+	// (IntraOneWay/InterOneWay).
+	Latency netsim.LatencyModel
+	// Policy, if non-nil, builds a per-member buffering policy override.
+	Policy func(view topology.View, params rrmp.Params) core.Policy
+	// Hooks, if non-nil, builds per-member instrumentation callbacks.
+	Hooks func(n topology.NodeID) rrmp.Hooks
+	// Tracer observes all members (nil = none).
+	Tracer trace.Tracer
+}
+
+// Cluster is a fully wired simulated deployment.
+type Cluster struct {
+	Sim     *sim.Sim
+	Net     *netsim.Network
+	Topo    *topology.Topology
+	Members []*rrmp.Member // indexed by dense NodeID
+	Sender  *rrmp.Sender
+	All     []topology.NodeID
+	Root    *rng.Source // harness-side randomness (bufferer choices etc.)
+}
+
+// NewCluster builds a deployment: one member per topology node, registered
+// on a simulated network, with the topology's sender wrapped as the
+// protocol sender.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("runner: ClusterConfig.Topo is required")
+	}
+	s := sim.New()
+	lat := cfg.Latency
+	if lat == nil {
+		lat = netsim.HierLatency{Topo: cfg.Topo, IntraOneWay: IntraOneWay, InterOneWay: InterOneWay}
+	}
+	net := netsim.New(s, lat, cfg.Loss)
+	root := rng.New(cfg.Seed)
+
+	c := &Cluster{
+		Sim:     s,
+		Net:     net,
+		Topo:    cfg.Topo,
+		Members: make([]*rrmp.Member, cfg.Topo.NumNodes()),
+		Root:    root.Split(0xaaaa),
+	}
+	for r := 0; r < cfg.Topo.NumRegions(); r++ {
+		c.All = append(c.All, cfg.Topo.Members(topology.RegionID(r))...)
+	}
+	for _, n := range c.All {
+		view, err := cfg.Topo.ViewOf(n)
+		if err != nil {
+			return nil, fmt.Errorf("runner: view of node %d: %w", n, err)
+		}
+		var policy core.Policy
+		if cfg.Policy != nil {
+			policy = cfg.Policy(view, cfg.Params)
+		}
+		var hooks rrmp.Hooks
+		if cfg.Hooks != nil {
+			hooks = cfg.Hooks(n)
+		}
+		m := rrmp.NewMember(rrmp.Config{
+			View:      view,
+			Transport: &rrmp.NetTransport{Net: net, Self: n, Group: c.All},
+			Sched:     s,
+			Rng:       root.Split(uint64(n) + 1),
+			Params:    cfg.Params,
+			Policy:    policy,
+			Tracer:    cfg.Tracer,
+			Hooks:     hooks,
+		})
+		c.Members[n] = m
+		member := m
+		net.Register(n, func(p netsim.Packet) { member.Receive(p.From, p.Msg) })
+	}
+	c.Sender = rrmp.NewSender(c.Members[cfg.Topo.Sender()])
+	return c, nil
+}
+
+// Member returns the member for a node id.
+func (c *Cluster) Member(n topology.NodeID) *rrmp.Member { return c.Members[n] }
+
+// CountReceived returns how many members have ever received id.
+func (c *Cluster) CountReceived(id wire.MessageID) int {
+	count := 0
+	for _, m := range c.Members {
+		if m.HasReceived(id) {
+			count++
+		}
+	}
+	return count
+}
+
+// CountBuffered returns how many members currently buffer id.
+func (c *Cluster) CountBuffered(id wire.MessageID) int {
+	count := 0
+	for _, m := range c.Members {
+		if m.Buffer().Has(id) {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/rmtp"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// TreeClusterConfig describes an RMTP-baseline deployment.
+type TreeClusterConfig struct {
+	// Topo is the group structure; the first member of each region becomes
+	// its repair server, and the root region's server is the sender.
+	Topo *topology.Topology
+	// Params tunes the baseline; zero fields default.
+	Params rmtp.Params
+	// Seed roots the randomness.
+	Seed uint64
+	// Loss is the network loss model (nil = lossless).
+	Loss netsim.LossModel
+}
+
+// TreeCluster is a fully wired tree-protocol deployment.
+type TreeCluster struct {
+	Sim    *sim.Sim
+	Net    *netsim.Network
+	Topo   *topology.Topology
+	Nodes  []*rmtp.Node // indexed by dense NodeID
+	Sender *rmtp.Sender
+	All    []topology.NodeID
+}
+
+// NewTreeCluster builds the RMTP baseline deployment used by ablation A2
+// and the comparison benches.
+func NewTreeCluster(cfg TreeClusterConfig) (*TreeCluster, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("runner: TreeClusterConfig.Topo is required")
+	}
+	topo := cfg.Topo
+	s := sim.New()
+	lat := netsim.HierLatency{Topo: topo, IntraOneWay: IntraOneWay, InterOneWay: InterOneWay}
+	net := netsim.New(s, lat, cfg.Loss)
+	root := rng.New(cfg.Seed)
+
+	c := &TreeCluster{Sim: s, Net: net, Topo: topo, Nodes: make([]*rmtp.Node, topo.NumNodes())}
+	serverOf := func(r topology.RegionID) topology.NodeID { return topo.MemberAt(r, 0) }
+	childServers := make(map[topology.RegionID][]topology.NodeID)
+	for r := 0; r < topo.NumRegions(); r++ {
+		if p := topo.Parent(topology.RegionID(r)); p != topology.NoRegion {
+			childServers[p] = append(childServers[p], serverOf(topology.RegionID(r)))
+		}
+	}
+	for r := 0; r < topo.NumRegions(); r++ {
+		rid := topology.RegionID(r)
+		parentServer := topology.NoNode
+		if p := topo.Parent(rid); p != topology.NoRegion {
+			parentServer = serverOf(p)
+		}
+		for _, node := range topo.Members(rid) {
+			node := node
+			n := rmtp.New(rmtp.Config{
+				Self:          node,
+				Server:        serverOf(rid),
+				ParentServer:  parentServer,
+				RegionMembers: topo.Members(rid),
+				ChildServers:  childServers[rid],
+				Send:          func(to topology.NodeID, msg wire.Message) { net.Unicast(node, to, msg) },
+				Sched:         s,
+				Rng:           root.Split(uint64(node) + 1),
+				Params:        cfg.Params,
+			})
+			c.Nodes[node] = n
+			c.All = append(c.All, node)
+			net.Register(node, func(p netsim.Packet) { n.Receive(p.From, p.Msg) })
+		}
+	}
+	rootNode := c.Nodes[serverOf(0)]
+	c.Sender = rmtp.NewSender(rootNode, func(msg wire.Message) {
+		net.Multicast(topo.Sender(), c.All, msg)
+	})
+	return c, nil
+}
+
+// CountReceived returns how many nodes have received seq.
+func (c *TreeCluster) CountReceived(seq uint64) int {
+	count := 0
+	for _, n := range c.Nodes {
+		if n.HasReceived(seq) {
+			count++
+		}
+	}
+	return count
+}
+
+// RunBoth runs the same publish workload under RRMP and the tree baseline
+// and returns both clusters quiesced at the horizon; comparison benches and
+// examples build on it.
+func RunBoth(topo *topology.Topology, msgs int, gap time.Duration, seed uint64, horizon time.Duration) (*Cluster, *TreeCluster, error) {
+	c, err := NewCluster(ClusterConfig{Topo: topo, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < msgs; i++ {
+		i := i
+		c.Sim.At(time.Duration(i)*gap, func() { c.Sender.Publish(make([]byte, 64)) })
+	}
+	c.Sim.RunUntil(horizon)
+
+	t, err := NewTreeCluster(TreeClusterConfig{Topo: topo, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, n := range t.Nodes {
+		n.StartAcks()
+	}
+	for i := 0; i < msgs; i++ {
+		i := i
+		t.Sim.At(time.Duration(i)*gap, func() { t.Sender.Publish(make([]byte, 64)) })
+	}
+	t.Sim.RunUntil(horizon)
+	return c, t, nil
+}

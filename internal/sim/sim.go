@@ -1,0 +1,147 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// A Sim owns a virtual clock and an ordered event queue (internal/eventq).
+// All protocol work — packet deliveries, retransmission timers, idle-buffer
+// timers — is expressed as events. Running the simulation pops events in
+// (time, insertion) order and advances the clock to each event's timestamp,
+// so an arbitrarily large multicast group simulates on one goroutine with
+// perfectly reproducible interleavings.
+//
+// Sim implements clock.Scheduler, which is the only interface the protocol
+// stack sees; the same protocol code runs unmodified on real time via
+// internal/udptransport.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/eventq"
+)
+
+// Sim is a discrete-event simulator. Create one with New. Sim is not safe
+// for concurrent use: everything runs on the caller's goroutine.
+type Sim struct {
+	now       time.Duration
+	queue     eventq.Queue
+	processed uint64
+	running   bool
+}
+
+// New returns an empty simulator at virtual time zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Pending returns the number of scheduled events not yet executed.
+func (s *Sim) Pending() int { return s.queue.Len() }
+
+// timer adapts an eventq handle to clock.Timer.
+type timer struct {
+	sim *Sim
+	ev  *eventq.Event
+}
+
+// Stop cancels the timer; see clock.Timer.
+func (t *timer) Stop() bool { return t.sim.queue.Remove(t.ev) }
+
+var _ clock.Timer = (*timer)(nil)
+var _ clock.Scheduler = (*Sim)(nil)
+
+// After schedules fn to run d after the current virtual time. A non-positive
+// d schedules for "now"; the event still goes through the queue so it runs
+// after the currently executing event completes.
+func (s *Sim) After(d time.Duration, fn func()) clock.Timer {
+	if fn == nil {
+		panic("sim: After with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	return &timer{sim: s, ev: s.queue.Push(s.now+d, fn)}
+}
+
+// At schedules fn at the absolute virtual time at, clamped to now.
+func (s *Sim) At(at time.Duration, fn func()) clock.Timer {
+	return s.After(at-s.now, fn)
+}
+
+// Step executes the single earliest event. It returns false if no events
+// are pending.
+func (s *Sim) Step() bool {
+	ev := s.queue.Pop()
+	if ev == nil {
+		return false
+	}
+	if ev.At() > s.now {
+		s.now = ev.At()
+	}
+	s.processed++
+	ev.Fn()()
+	return true
+}
+
+// Run executes events until the queue is empty. It returns the number of
+// events executed. Run panics if called reentrantly from an event callback.
+func (s *Sim) Run() uint64 {
+	return s.RunUntil(-1)
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to the deadline. A negative deadline means "run to exhaustion". It
+// returns the number of events executed by this call.
+func (s *Sim) RunUntil(deadline time.Duration) uint64 {
+	if s.running {
+		panic("sim: reentrant Run from inside an event callback")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	start := s.processed
+	for {
+		head := s.queue.Peek()
+		if head == nil {
+			break
+		}
+		if deadline >= 0 && head.At() > deadline {
+			break
+		}
+		s.Step()
+	}
+	if deadline >= 0 && s.now < deadline {
+		s.now = deadline
+	}
+	return s.processed - start
+}
+
+// RunFor advances the simulation by d from the current time; see RunUntil.
+func (s *Sim) RunFor(d time.Duration) uint64 {
+	return s.RunUntil(s.now + d)
+}
+
+// MustQuiesce runs to exhaustion but panics if more than limit events
+// execute, which guards tests and experiments against runaway protocols
+// (for example a search loop that never terminates).
+func (s *Sim) MustQuiesce(limit uint64) uint64 {
+	if s.running {
+		panic("sim: reentrant MustQuiesce")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	start := s.processed
+	for s.queue.Len() > 0 {
+		if s.processed-start >= limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v with %d pending", limit, s.now, s.queue.Len()))
+		}
+		s.Step()
+	}
+	return s.processed - start
+}

@@ -1,0 +1,291 @@
+// Package topology models the multicast group structure RRMP assumes:
+// receivers grouped into local regions, with regions arranged into an
+// error-recovery hierarchy by distance from the sender (paper §2.1).
+//
+// Each receiver knows two partial views — the members of its own region and
+// the members of its parent region — and nothing else. No node ever holds
+// complete group membership, matching the IP-multicast delivery model the
+// paper targets.
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a group member. IDs are dense, starting at zero, so
+// they double as slice indices throughout the simulator.
+type NodeID int32
+
+// NoNode is the sentinel for "no such member".
+const NoNode NodeID = -1
+
+// RegionID identifies a local region.
+type RegionID int32
+
+// NoRegion is the sentinel for "no such region" (the root has no parent).
+const NoRegion RegionID = -1
+
+// Region is one local region in the error-recovery hierarchy.
+type Region struct {
+	ID      RegionID
+	Parent  RegionID // NoRegion for the sender's (root) region
+	Members []NodeID
+}
+
+// Topology is an immutable description of the group: regions, their
+// hierarchy, and the designated sender. Build one with the constructors in
+// this package and treat it as read-only afterwards.
+type Topology struct {
+	regions  []Region
+	regionOf []RegionID
+	sender   NodeID
+}
+
+// errInvalid is wrapped by all validation failures.
+var errInvalid = errors.New("invalid topology")
+
+// build assembles a Topology from per-region sizes and a parent function,
+// assigning dense node IDs region by region.
+func build(sizes []int, parentOf func(i int) RegionID) (*Topology, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("%w: no regions", errInvalid)
+	}
+	total := 0
+	for i, n := range sizes {
+		if n < 1 {
+			return nil, fmt.Errorf("%w: region %d has size %d", errInvalid, i, n)
+		}
+		total += n
+	}
+	t := &Topology{
+		regions:  make([]Region, len(sizes)),
+		regionOf: make([]RegionID, total),
+	}
+	next := NodeID(0)
+	for i, n := range sizes {
+		members := make([]NodeID, n)
+		for j := range members {
+			members[j] = next
+			t.regionOf[next] = RegionID(i)
+			next++
+		}
+		t.regions[i] = Region{ID: RegionID(i), Parent: parentOf(i), Members: members}
+	}
+	t.sender = t.regions[0].Members[0]
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SingleRegion returns a topology with one region of n members; the sender
+// is member 0. This is the configuration used by every experiment in the
+// paper's §4.
+func SingleRegion(n int) (*Topology, error) {
+	return build([]int{n}, func(int) RegionID { return NoRegion })
+}
+
+// Chain returns a linear hierarchy: region 0 (the sender's region) is the
+// parent of region 1, which is the parent of region 2, and so on. sizes[i]
+// is the member count of region i.
+func Chain(sizes ...int) (*Topology, error) {
+	return build(sizes, func(i int) RegionID {
+		if i == 0 {
+			return NoRegion
+		}
+		return RegionID(i - 1)
+	})
+}
+
+// Star returns a two-level hierarchy: region 0 is the root and every other
+// region has region 0 as its parent. This matches the paper's Figure 1
+// when all leaf regions attach directly to the sender's region.
+func Star(sizes ...int) (*Topology, error) {
+	if len(sizes) < 1 {
+		return nil, fmt.Errorf("%w: Star needs at least the root region", errInvalid)
+	}
+	return build(sizes, func(i int) RegionID {
+		if i == 0 {
+			return NoRegion
+		}
+		return 0
+	})
+}
+
+// Tree returns a balanced hierarchy: levels levels of regions, each inner
+// region with branch children, every region holding regionSize members.
+// Tree(b=1, levels=k, n) is equivalent to Chain of k regions of size n.
+func Tree(branch, levels, regionSize int) (*Topology, error) {
+	if branch < 1 || levels < 1 {
+		return nil, fmt.Errorf("%w: Tree(branch=%d, levels=%d)", errInvalid, branch, levels)
+	}
+	count := 0
+	width := 1
+	for l := 0; l < levels; l++ {
+		count += width
+		width *= branch
+	}
+	sizes := make([]int, count)
+	for i := range sizes {
+		sizes[i] = regionSize
+	}
+	return build(sizes, func(i int) RegionID {
+		if i == 0 {
+			return NoRegion
+		}
+		return RegionID((i - 1) / branch)
+	})
+}
+
+// validate checks the hierarchy for cycles, bad parents, and an in-region
+// sender.
+func (t *Topology) validate() error {
+	for _, r := range t.regions {
+		if r.Parent == r.ID {
+			return fmt.Errorf("%w: region %d is its own parent", errInvalid, r.ID)
+		}
+		if r.Parent != NoRegion && (r.Parent < 0 || int(r.Parent) >= len(t.regions)) {
+			return fmt.Errorf("%w: region %d has unknown parent %d", errInvalid, r.ID, r.Parent)
+		}
+	}
+	// Walk each region to a root; fail on cycles or walks longer than the
+	// region count.
+	for _, r := range t.regions {
+		steps := 0
+		for cur := r.ID; cur != NoRegion; cur = t.regions[cur].Parent {
+			steps++
+			if steps > len(t.regions) {
+				return fmt.Errorf("%w: cycle involving region %d", errInvalid, r.ID)
+			}
+		}
+	}
+	if t.RegionOf(t.sender) == NoRegion {
+		return fmt.Errorf("%w: sender %d not in any region", errInvalid, t.sender)
+	}
+	return nil
+}
+
+// NumNodes returns the total number of members in the group.
+func (t *Topology) NumNodes() int { return len(t.regionOf) }
+
+// NumRegions returns the number of regions.
+func (t *Topology) NumRegions() int { return len(t.regions) }
+
+// Sender returns the designated sender (a member of the root region).
+func (t *Topology) Sender() NodeID { return t.sender }
+
+// RegionOf returns the region containing node, or NoRegion for an unknown
+// node.
+func (t *Topology) RegionOf(node NodeID) RegionID {
+	if node < 0 || int(node) >= len(t.regionOf) {
+		return NoRegion
+	}
+	return t.regionOf[node]
+}
+
+// Parent returns the parent region of r, or NoRegion at the root or for an
+// unknown region.
+func (t *Topology) Parent(r RegionID) RegionID {
+	if r < 0 || int(r) >= len(t.regions) {
+		return NoRegion
+	}
+	return t.regions[r].Parent
+}
+
+// RegionSize returns the number of members in region r (0 if unknown).
+func (t *Topology) RegionSize(r RegionID) int {
+	if r < 0 || int(r) >= len(t.regions) {
+		return 0
+	}
+	return len(t.regions[r].Members)
+}
+
+// MemberAt returns the i-th member of region r. It panics on out-of-range
+// arguments; use RegionSize to bound i. This accessor exists so hot protocol
+// paths can pick random members without allocating.
+func (t *Topology) MemberAt(r RegionID, i int) NodeID {
+	return t.regions[r].Members[i]
+}
+
+// Members returns a copy of region r's member list (nil for an unknown
+// region).
+func (t *Topology) Members(r RegionID) []NodeID {
+	if r < 0 || int(r) >= len(t.regions) {
+		return nil
+	}
+	out := make([]NodeID, len(t.regions[r].Members))
+	copy(out, t.regions[r].Members)
+	return out
+}
+
+// HierarchyDistance returns the number of parent hops separating the regions
+// of a and b along the hierarchy (0 if the same region). If neither region
+// is an ancestor of the other, it returns the sum of both distances to the
+// deepest common ancestor; with disjoint roots it returns the sum of both
+// depths plus one. Latency models use this to scale inter-region delay.
+func (t *Topology) HierarchyDistance(a, b NodeID) int {
+	ra, rb := t.RegionOf(a), t.RegionOf(b)
+	if ra == rb {
+		return 0
+	}
+	depth := func(r RegionID) int {
+		d := 0
+		for r != NoRegion {
+			r = t.regions[r].Parent
+			d++
+		}
+		return d
+	}
+	da, db := depth(ra), depth(rb)
+	x, y := ra, rb
+	dist := 0
+	for da > db {
+		x = t.regions[x].Parent
+		da--
+		dist++
+	}
+	for db > da {
+		y = t.regions[y].Parent
+		db--
+		dist++
+	}
+	for x != y {
+		if x == NoRegion || y == NoRegion {
+			return dist + 1 // disjoint roots
+		}
+		x = t.regions[x].Parent
+		y = t.regions[y].Parent
+		dist += 2
+	}
+	return dist
+}
+
+// View is the partial membership knowledge one member has (paper §2.1):
+// all members of its own region plus all members of its parent region.
+type View struct {
+	Self          NodeID
+	Region        RegionID
+	ParentRegion  RegionID // NoRegion if the member is in the root region
+	RegionPeers   []NodeID // own region, excluding Self
+	ParentMembers []NodeID // parent region members (empty at the root)
+}
+
+// ViewOf computes the membership view of node. The returned slices are
+// fresh copies owned by the caller.
+func (t *Topology) ViewOf(node NodeID) (View, error) {
+	r := t.RegionOf(node)
+	if r == NoRegion {
+		return View{}, fmt.Errorf("%w: node %d not in topology", errInvalid, node)
+	}
+	v := View{Self: node, Region: r, ParentRegion: t.Parent(r)}
+	for _, m := range t.regions[r].Members {
+		if m != node {
+			v.RegionPeers = append(v.RegionPeers, m)
+		}
+	}
+	if v.ParentRegion != NoRegion {
+		v.ParentMembers = t.Members(v.ParentRegion)
+	}
+	return v, nil
+}

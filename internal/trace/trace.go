@@ -1,0 +1,126 @@
+// Package trace provides lightweight structured event logging for protocol
+// debugging and the example programs.
+//
+// Tracers are deliberately allocation-light: the Nop tracer compiles to
+// nothing on the hot path, and the protocol engine checks for it before
+// formatting. The Memory tracer retains a bounded ring of events for tests
+// and post-mortem printing; the Writer tracer streams human-readable lines.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Event is one traced protocol occurrence.
+type Event struct {
+	At     time.Duration
+	Node   topology.NodeID
+	Kind   string
+	Detail string
+}
+
+// String formats the event as a single log line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.3fms node=%-4d %-12s %s",
+		float64(e.At)/float64(time.Millisecond), e.Node, e.Kind, e.Detail)
+	return b.String()
+}
+
+// Tracer receives protocol events. Implementations must be cheap; the
+// simulator may emit millions of events.
+type Tracer interface {
+	// Enabled reports whether events will be recorded; callers should skip
+	// detail formatting when it returns false.
+	Enabled() bool
+	// Emit records one event.
+	Emit(e Event)
+}
+
+// Nop is a Tracer that discards everything.
+type Nop struct{}
+
+// Enabled implements Tracer (always false).
+func (Nop) Enabled() bool { return false }
+
+// Emit implements Tracer (no-op).
+func (Nop) Emit(Event) {}
+
+var _ Tracer = Nop{}
+
+// Memory retains the most recent Cap events in memory. The zero value is
+// unbounded; set Cap to bound retention. Memory is not safe for concurrent
+// use.
+type Memory struct {
+	Cap    int
+	events []Event
+	start  int // ring start when bounded and full
+	full   bool
+}
+
+var _ Tracer = (*Memory)(nil)
+
+// Enabled implements Tracer (always true).
+func (m *Memory) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (m *Memory) Emit(e Event) {
+	if m.Cap <= 0 {
+		m.events = append(m.events, e)
+		return
+	}
+	if len(m.events) < m.Cap {
+		m.events = append(m.events, e)
+		return
+	}
+	m.events[m.start] = e
+	m.start = (m.start + 1) % m.Cap
+	m.full = true
+}
+
+// Events returns the retained events in chronological order.
+func (m *Memory) Events() []Event {
+	if !m.full {
+		out := make([]Event, len(m.events))
+		copy(out, m.events)
+		return out
+	}
+	out := make([]Event, 0, len(m.events))
+	out = append(out, m.events[m.start:]...)
+	out = append(out, m.events[:m.start]...)
+	return out
+}
+
+// Count returns the number of retained events.
+func (m *Memory) Count() int { return len(m.events) }
+
+// Filter returns retained events whose Kind equals kind.
+func (m *Memory) Filter(kind string) []Event {
+	var out []Event
+	for _, e := range m.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Writer streams formatted events to an io.Writer as they are emitted.
+type Writer struct {
+	W io.Writer
+}
+
+var _ Tracer = (*Writer)(nil)
+
+// Enabled implements Tracer (always true).
+func (w *Writer) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (w *Writer) Emit(e Event) {
+	fmt.Fprintln(w.W, e.String())
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNop(t *testing.T) {
+	var tr Tracer = Nop{}
+	if tr.Enabled() {
+		t.Fatal("Nop.Enabled() = true")
+	}
+	tr.Emit(Event{}) // must not panic
+}
+
+func TestMemoryUnbounded(t *testing.T) {
+	var m Memory
+	if !m.Enabled() {
+		t.Fatal("Memory.Enabled() = false")
+	}
+	for i := 0; i < 10; i++ {
+		m.Emit(Event{At: time.Duration(i), Kind: "k"})
+	}
+	evs := m.Events()
+	if len(evs) != 10 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.At != time.Duration(i) {
+			t.Fatalf("order broken: %v", evs)
+		}
+	}
+}
+
+func TestMemoryRing(t *testing.T) {
+	m := Memory{Cap: 3}
+	for i := 0; i < 7; i++ {
+		m.Emit(Event{At: time.Duration(i)})
+	}
+	evs := m.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	for i, want := range []time.Duration{4, 5, 6} {
+		if evs[i].At != want {
+			t.Fatalf("ring order: %v", evs)
+		}
+	}
+	if m.Count() != 3 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+}
+
+func TestMemoryFilter(t *testing.T) {
+	var m Memory
+	m.Emit(Event{Kind: "a"})
+	m.Emit(Event{Kind: "b"})
+	m.Emit(Event{Kind: "a"})
+	if got := len(m.Filter("a")); got != 2 {
+		t.Fatalf("Filter(a) = %d", got)
+	}
+	if got := len(m.Filter("zz")); got != 0 {
+		t.Fatalf("Filter(zz) = %d", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 1500 * time.Microsecond, Node: 7, Kind: "RECV", Detail: "id=0:3"}
+	s := e.String()
+	for _, want := range []string{"1.500ms", "node=7", "RECV", "id=0:3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestWriterTracer(t *testing.T) {
+	var sb strings.Builder
+	w := &Writer{W: &sb}
+	if !w.Enabled() {
+		t.Fatal("Writer.Enabled() = false")
+	}
+	w.Emit(Event{Kind: "X", Detail: "d"})
+	w.Emit(Event{Kind: "Y"})
+	out := sb.String()
+	if strings.Count(out, "\n") != 2 || !strings.Contains(out, "X") || !strings.Contains(out, "Y") {
+		t.Fatalf("writer output %q", out)
+	}
+}

@@ -1,0 +1,248 @@
+// Package udptransport binds the RRMP protocol engine to real UDP sockets
+// and the wall clock, demonstrating that the engine is not simulator-bound:
+// the exact same Member code that runs under internal/sim drives real
+// packets here.
+//
+// Each Node owns one UDP socket and a single executor goroutine. Network
+// receives and timer callbacks are posted to the executor channel, so all
+// protocol state remains single-threaded exactly as the engine requires —
+// the same serialization the simulator provides by construction.
+//
+// IP-multicast groups are modeled as sender-side fan-out over the peer
+// table, which keeps the package portable (loopback multicast is unreliable
+// in containers and on some platforms); a production deployment would swap
+// Broadcast for a multicast socket without touching the engine.
+package udptransport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// executorScheduler implements clock.Scheduler over the wall clock, posting
+// every callback to a serializing executor channel.
+type executorScheduler struct {
+	start time.Time
+	exec  chan<- func()
+}
+
+// Now implements clock.Scheduler.
+func (s *executorScheduler) Now() time.Duration { return time.Since(s.start) }
+
+// After implements clock.Scheduler.
+func (s *executorScheduler) After(d time.Duration, fn func()) clock.Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &realTimer{}
+	t.timer = time.AfterFunc(d, func() {
+		// Post to the executor; drop silently if the node is closing (the
+		// channel send would block forever otherwise).
+		defer func() { _ = recover() }()
+		s.exec <- fn
+	})
+	return t
+}
+
+// realTimer adapts time.Timer to clock.Timer.
+type realTimer struct {
+	timer *time.Timer
+}
+
+// Stop implements clock.Timer. A true return guarantees the callback has
+// not been posted; a false return means it fired or was already stopped —
+// the engine's callbacks all tolerate late firing by re-checking state.
+func (t *realTimer) Stop() bool { return t.timer.Stop() }
+
+var _ clock.Scheduler = (*executorScheduler)(nil)
+
+// Config assembles a Node.
+type Config struct {
+	// Self is this node's id.
+	Self topology.NodeID
+	// Peers maps every group member to its UDP address (including Self,
+	// whose entry is ignored for sends).
+	Peers map[topology.NodeID]string
+	// Listen is this node's UDP listen address (e.g. "127.0.0.1:0").
+	Listen string
+	// OnReceive is invoked on the executor goroutine for every decoded
+	// message; bind it to rrmp.Member.Receive.
+	OnReceive func(from topology.NodeID, msg wire.Message)
+}
+
+// Node is one real-network protocol endpoint. Create with Listen-style
+// NewNode, wire an rrmp.Member against Scheduler() and the Transport
+// methods, then Start.
+type Node struct {
+	self  topology.NodeID
+	conn  *net.UDPConn
+	peers map[topology.NodeID]*net.UDPAddr
+	sched *executorScheduler
+
+	exec      chan func()
+	onReceive func(from topology.NodeID, msg wire.Message)
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewNode opens the socket and resolves all peers. The executor is not
+// running until Start.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.OnReceive == nil {
+		return nil, errors.New("udptransport: Config.OnReceive is required")
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: resolving listen address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: listening: %w", err)
+	}
+	peers := make(map[topology.NodeID]*net.UDPAddr, len(cfg.Peers))
+	for id, a := range cfg.Peers {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("udptransport: resolving peer %d (%q): %w", id, a, err)
+		}
+		peers[id] = ua
+	}
+	exec := make(chan func(), 1024)
+	return &Node{
+		self:      cfg.Self,
+		conn:      conn,
+		peers:     peers,
+		sched:     &executorScheduler{start: time.Now(), exec: exec},
+		exec:      exec,
+		onReceive: cfg.OnReceive,
+	}, nil
+}
+
+// Addr returns the bound UDP address (useful with ":0" listens).
+func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+
+// SetPeer installs or updates one peer address; call before Start (used
+// when the fleet binds ephemeral ports and learns addresses afterwards).
+func (n *Node) SetPeer(id topology.NodeID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("udptransport: resolving peer %d: %w", id, err)
+	}
+	n.peers[id] = ua
+	return nil
+}
+
+// Scheduler returns the wall-clock scheduler bound to this node's executor.
+func (n *Node) Scheduler() clock.Scheduler { return n.sched }
+
+// Start launches the executor and reader goroutines.
+func (n *Node) Start() {
+	n.wg.Add(2)
+	go n.runExecutor()
+	go n.runReader()
+}
+
+func (n *Node) runExecutor() {
+	defer n.wg.Done()
+	for fn := range n.exec {
+		if fn == nil {
+			return
+		}
+		fn()
+	}
+}
+
+func (n *Node) runReader() {
+	defer n.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		count, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		msg, err := wire.Unmarshal(buf[:count])
+		if err != nil {
+			continue // drop garbage, as a real endpoint must
+		}
+		n.post(func() { n.onReceive(msg.From, msg) })
+	}
+}
+
+// post enqueues fn on the executor, dropping it if the node closed.
+func (n *Node) post(fn func()) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	defer func() { _ = recover() }() // racing close: drop
+	n.exec <- fn
+}
+
+// Do runs fn on the executor and waits for it — the safe way to touch the
+// member's state (publish, read metrics) from outside.
+func (n *Node) Do(fn func()) {
+	done := make(chan struct{})
+	n.post(func() {
+		fn()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		// The executor is gone (node closed mid-call); give up rather
+		// than deadlock the caller.
+	}
+}
+
+// Send implements rrmp.Transport.
+func (n *Node) Send(to topology.NodeID, msg wire.Message) {
+	addr, ok := n.peers[to]
+	if !ok {
+		return
+	}
+	// Errors are deliberately dropped: UDP send failures are
+	// indistinguishable from loss, which the protocol tolerates by design.
+	_, _ = n.conn.WriteToUDP(msg.Marshal(), addr)
+}
+
+// Broadcast implements rrmp.Transport by fanning out to every known peer.
+func (n *Node) Broadcast(msg wire.Message) {
+	enc := msg.Marshal()
+	for id, addr := range n.peers {
+		if id == n.self {
+			continue
+		}
+		_, _ = n.conn.WriteToUDP(enc, addr)
+	}
+}
+
+// Close shuts the node down: the socket closes, the executor drains, and
+// all goroutines exit before Close returns. Timers firing afterwards are
+// dropped.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+
+	n.conn.Close()
+	// Unblock the executor; pending callbacks before the nil are executed.
+	n.exec <- nil
+	n.wg.Wait()
+	close(n.exec)
+}

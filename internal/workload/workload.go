@@ -1,0 +1,87 @@
+// Package workload generates publish schedules for experiments and
+// examples: constant-rate streams, Poisson arrivals, and on/off bursts.
+//
+// A generator yields the virtual times at which the sender should publish;
+// drivers schedule those instants on the simulator (or sleep until them in
+// real-time mode). Schedules are pure data, so the same workload can be
+// replayed against different protocols or policies for paired comparisons.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Schedule is a sorted list of publish instants relative to the run start.
+type Schedule []time.Duration
+
+// Constant returns n publishes spaced exactly gap apart, starting at 0.
+func Constant(n int, gap time.Duration) Schedule {
+	if n <= 0 {
+		return nil
+	}
+	out := make(Schedule, n)
+	for i := range out {
+		out[i] = time.Duration(i) * gap
+	}
+	return out
+}
+
+// Poisson returns n publishes with exponential inter-arrival times of the
+// given mean (a Poisson arrival process), using r for randomness.
+func Poisson(n int, meanGap time.Duration, r *rng.Source) Schedule {
+	if n <= 0 {
+		return nil
+	}
+	if meanGap <= 0 {
+		panic(fmt.Sprintf("workload: non-positive mean gap %v", meanGap))
+	}
+	rate := 1 / meanGap.Seconds()
+	out := make(Schedule, n)
+	at := time.Duration(0)
+	for i := range out {
+		out[i] = at
+		at += time.Duration(r.ExpFloat64(rate) * float64(time.Second))
+	}
+	return out
+}
+
+// Bursts returns publishes grouped into bursts: burstLen messages spaced
+// inGap apart, with betweenGap between burst starts, for total messages.
+// This is the "burst" traffic whose tail losses the paper's session
+// messages exist to detect (§2.1).
+func Bursts(total, burstLen int, inGap, betweenGap time.Duration) Schedule {
+	if total <= 0 || burstLen <= 0 {
+		return nil
+	}
+	out := make(Schedule, 0, total)
+	burstStart := time.Duration(0)
+	for len(out) < total {
+		for i := 0; i < burstLen && len(out) < total; i++ {
+			out = append(out, burstStart+time.Duration(i)*inGap)
+		}
+		burstStart += betweenGap
+	}
+	return out
+}
+
+// Span returns the time of the last publish (0 for an empty schedule).
+func (s Schedule) Span() time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1]
+}
+
+// Valid reports whether the schedule is non-decreasing (drivers rely on
+// in-order scheduling).
+func (s Schedule) Valid() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestConstant(t *testing.T) {
+	s := Constant(5, 10*time.Millisecond)
+	if len(s) != 5 {
+		t.Fatalf("len %d", len(s))
+	}
+	for i, at := range s {
+		if at != time.Duration(i)*10*time.Millisecond {
+			t.Fatalf("schedule %v", s)
+		}
+	}
+	if Constant(0, time.Second) != nil {
+		t.Fatal("empty constant not nil")
+	}
+	if s.Span() != 40*time.Millisecond {
+		t.Fatalf("span %v", s.Span())
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	r := rng.New(3)
+	const n = 20000
+	mean := 10 * time.Millisecond
+	s := Poisson(n, mean, r)
+	if !s.Valid() {
+		t.Fatal("Poisson schedule not sorted")
+	}
+	if s[0] != 0 {
+		t.Fatalf("first arrival %v", s[0])
+	}
+	got := s.Span().Seconds() / float64(n-1)
+	if math.Abs(got-mean.Seconds()) > mean.Seconds()*0.05 {
+		t.Fatalf("mean gap %.4fs, want ~%.4fs", got, mean.Seconds())
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a := Poisson(100, time.Millisecond, rng.New(9))
+	b := Poisson(100, time.Millisecond, rng.New(9))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different schedule")
+		}
+	}
+}
+
+func TestPoissonPanicsOnBadGap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Poisson(5, 0, rng.New(1))
+}
+
+func TestBurstsShape(t *testing.T) {
+	s := Bursts(7, 3, time.Millisecond, 100*time.Millisecond)
+	if len(s) != 7 {
+		t.Fatalf("len %d", len(s))
+	}
+	want := Schedule{
+		0, time.Millisecond, 2 * time.Millisecond,
+		100 * time.Millisecond, 101 * time.Millisecond, 102 * time.Millisecond,
+		200 * time.Millisecond,
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("schedule %v, want %v", s, want)
+		}
+	}
+	if !s.Valid() {
+		t.Fatal("bursts not sorted")
+	}
+}
+
+func TestBurstsEmpty(t *testing.T) {
+	if Bursts(0, 3, 1, 2) != nil || Bursts(5, 0, 1, 2) != nil {
+		t.Fatal("degenerate bursts not nil")
+	}
+}
+
+// Property: all generators produce valid (sorted) schedules of the exact
+// requested length.
+func TestGeneratorsValidProperty(t *testing.T) {
+	prop := func(nRaw, kindRaw uint8, seed uint16) bool {
+		n := int(nRaw % 64)
+		var s Schedule
+		switch kindRaw % 3 {
+		case 0:
+			s = Constant(n, 3*time.Millisecond)
+		case 1:
+			s = Poisson(n, 5*time.Millisecond, rng.New(uint64(seed)))
+		case 2:
+			s = Bursts(n, int(kindRaw%5)+1, time.Millisecond, 50*time.Millisecond)
+		}
+		if n <= 0 {
+			return s == nil
+		}
+		return len(s) == n && s.Valid() && s[0] == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

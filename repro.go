@@ -1,0 +1,343 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/rrmp"
+	"repro/internal/runner"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Re-exported identifiers so facade users speak one vocabulary.
+type (
+	// NodeID identifies a group member.
+	NodeID = topology.NodeID
+	// MessageID identifies a data message ([source, sequence], §1).
+	MessageID = wire.MessageID
+	// Params are the protocol tunables (see internal/rrmp for field docs).
+	Params = rrmp.Params
+	// Metrics are per-member protocol counters.
+	Metrics = rrmp.Metrics
+	// Member is one protocol participant.
+	Member = rrmp.Member
+)
+
+// DefaultParams returns the paper's §4 parameter defaults.
+func DefaultParams() Params { return rrmp.DefaultParams() }
+
+// PolicyKind selects a buffering policy for a Group.
+type PolicyKind int
+
+// Buffering policies.
+const (
+	// PolicyTwoPhase is the paper's algorithm (§3): feedback-based
+	// short-term buffering plus randomized long-term election.
+	PolicyTwoPhase PolicyKind = iota + 1
+	// PolicyFixedHold buffers every message for a fixed time (Bimodal
+	// Multicast's scheme).
+	PolicyFixedHold
+	// PolicyBufferAll never discards (the conservative strategy of §1).
+	PolicyBufferAll
+	// PolicyHashElect picks deterministic bufferers by hashing
+	// (the authors' earlier scheme, §3.4).
+	PolicyHashElect
+)
+
+// config collects the functional options.
+type config struct {
+	regionSizes []int
+	star        bool
+	seed        uint64
+	params      Params
+	lossP       float64
+	burstLoss   bool
+	blackouts   []int
+	policy      PolicyKind
+	fixedHold   time.Duration
+	tracer      trace.Tracer
+}
+
+// Option configures NewGroup.
+type Option func(*config)
+
+// WithRegions arranges members into a chain hierarchy: the first region
+// (the sender's) is the parent of the second, and so on. One size builds
+// the paper's single-region evaluation setup.
+func WithRegions(sizes ...int) Option {
+	return func(c *config) { c.regionSizes = sizes; c.star = false }
+}
+
+// WithStar arranges the regions as a two-level star: every region after
+// the first attaches directly to the sender's region (the paper's
+// Figure 1 shape).
+func WithStar(sizes ...int) Option {
+	return func(c *config) { c.regionSizes = sizes; c.star = true }
+}
+
+// WithSeed fixes the run's root random seed (default 1).
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithParams overrides protocol parameters; zero fields keep defaults.
+func WithParams(p Params) Option {
+	return func(c *config) { c.params = p }
+}
+
+// WithDataLoss drops each initial-multicast DATA packet independently with
+// probability p, leaving recovery traffic lossless as in §4.
+func WithDataLoss(p float64) Option {
+	return func(c *config) { c.lossP = p; c.burstLoss = false }
+}
+
+// WithBurstDataLoss uses a Gilbert–Elliott burst-loss channel for DATA at
+// roughly the given long-run loss rate.
+func WithBurstDataLoss(p float64) Option {
+	return func(c *config) { c.lossP = p; c.burstLoss = true }
+}
+
+// WithRegionBlackout drops the initial multicast entirely for every member
+// of the given region (by index), producing the paper's "regional loss"
+// scenario that only remote recovery can repair (§2.2). May be repeated.
+func WithRegionBlackout(region int) Option {
+	return func(c *config) { c.blackouts = append(c.blackouts, region) }
+}
+
+// WithPolicy selects the buffering policy (default PolicyTwoPhase).
+// PolicyFixedHold uses hold as the retention time; PolicyHashElect uses
+// int(hold) ignored and c bufferers = Params.C.
+func WithPolicy(kind PolicyKind) Option {
+	return func(c *config) { c.policy = kind }
+}
+
+// WithFixedHold sets the retention for PolicyFixedHold (default 500 ms).
+func WithFixedHold(d time.Duration) Option {
+	return func(c *config) { c.fixedHold = d }
+}
+
+// WithTracer streams protocol events to the tracer (e.g. &trace.Writer{W:
+// os.Stderr} — mostly for the examples and debugging).
+func WithTracer(t trace.Tracer) Option {
+	return func(c *config) { c.tracer = t }
+}
+
+// blackoutLoss drops all DATA to the victim set and defers to the inner
+// model (if any) elsewhere.
+type blackoutLoss struct {
+	victims map[topology.NodeID]bool
+	inner   netsim.LossModel
+}
+
+// Drop implements netsim.LossModel.
+func (b *blackoutLoss) Drop(from, to topology.NodeID, t wire.Type) bool {
+	if t == wire.TypeData && b.victims[to] {
+		return true
+	}
+	if b.inner != nil {
+		return b.inner.Drop(from, to, t)
+	}
+	return false
+}
+
+// Group is a simulated RRMP deployment: one sender plus receivers arranged
+// in regions, driven over virtual time. Not safe for concurrent use.
+type Group struct {
+	cluster *runner.Cluster
+	sender  *rrmp.Sender
+}
+
+// NewGroup builds a deployment from options. With no options it builds a
+// single 100-member region with the paper's defaults.
+func NewGroup(opts ...Option) (*Group, error) {
+	cfg := config{
+		regionSizes: []int{100},
+		seed:        1,
+		params:      rrmp.DefaultParams(),
+		policy:      PolicyTwoPhase,
+		fixedHold:   500 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var (
+		topo *topology.Topology
+		err  error
+	)
+	if cfg.star {
+		topo, err = topology.Star(cfg.regionSizes...)
+	} else {
+		topo, err = topology.Chain(cfg.regionSizes...)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repro: building topology: %w", err)
+	}
+
+	var loss netsim.LossModel
+	if cfg.lossP > 0 {
+		only := map[wire.Type]bool{wire.TypeData: true}
+		if cfg.burstLoss {
+			loss = &netsim.GilbertElliott{
+				PGood: cfg.lossP / 4, PBad: 0.9,
+				PGB: 0.02, PBG: 0.2,
+				Only: only, Rng: rng.New(cfg.seed ^ 0xbadbad),
+			}
+		} else {
+			loss = &netsim.BernoulliLoss{P: cfg.lossP, Only: only, Rng: rng.New(cfg.seed ^ 0xbadbad)}
+		}
+	}
+	if len(cfg.blackouts) > 0 {
+		victims := make(map[topology.NodeID]bool)
+		for _, r := range cfg.blackouts {
+			if r < 0 || r >= topo.NumRegions() {
+				return nil, fmt.Errorf("repro: blackout region %d out of range (have %d regions)", r, topo.NumRegions())
+			}
+			for _, n := range topo.Members(topology.RegionID(r)) {
+				victims[n] = true
+			}
+		}
+		loss = &blackoutLoss{victims: victims, inner: loss}
+	}
+
+	var policy func(view topology.View, p rrmp.Params) core.Policy
+	switch cfg.policy {
+	case PolicyTwoPhase:
+		policy = nil // the member builds the paper's policy itself
+	case PolicyFixedHold:
+		policy = func(topology.View, rrmp.Params) core.Policy {
+			return &core.FixedHold{D: cfg.fixedHold}
+		}
+	case PolicyBufferAll:
+		policy = func(topology.View, rrmp.Params) core.Policy { return core.BufferAll{} }
+	case PolicyHashElect:
+		policy = func(view topology.View, p rrmp.Params) core.Policy {
+			region := append([]topology.NodeID{view.Self}, view.RegionPeers...)
+			return core.NewHashElect(p.IdleThreshold, int(p.C), view.Self, region, p.LongTermTTL)
+		}
+	default:
+		return nil, fmt.Errorf("repro: unknown policy kind %d", cfg.policy)
+	}
+
+	cluster, err := runner.NewCluster(runner.ClusterConfig{
+		Topo:   topo,
+		Params: cfg.params,
+		Seed:   cfg.seed,
+		Loss:   loss,
+		Policy: policy,
+		Tracer: cfg.tracer,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repro: building cluster: %w", err)
+	}
+	return &Group{cluster: cluster, sender: cluster.Sender}, nil
+}
+
+// NumMembers returns the total member count.
+func (g *Group) NumMembers() int { return g.cluster.Topo.NumNodes() }
+
+// NumRegions returns the region count.
+func (g *Group) NumRegions() int { return g.cluster.Topo.NumRegions() }
+
+// Member returns the member with the given dense id (0 <= id < NumMembers).
+func (g *Group) Member(id NodeID) *Member { return g.cluster.Members[id] }
+
+// Members returns all members in id order (shared slice; do not modify).
+func (g *Group) Members() []*Member { return g.cluster.Members }
+
+// SenderID returns the sender's node id.
+func (g *Group) SenderID() NodeID { return g.cluster.Topo.Sender() }
+
+// Publish multicasts one message from the group's sender and returns its
+// id.
+func (g *Group) Publish(payload []byte) MessageID { return g.sender.Publish(payload) }
+
+// StartSessions begins the sender's periodic session messages (§2.1).
+func (g *Group) StartSessions() { g.sender.StartSessions() }
+
+// StopSessions stops them (so the simulation can drain).
+func (g *Group) StopSessions() { g.sender.StopSessions() }
+
+// Now returns the current virtual time.
+func (g *Group) Now() time.Duration { return g.cluster.Sim.Now() }
+
+// Run advances virtual time by d, executing all protocol events due.
+func (g *Group) Run(d time.Duration) { g.cluster.Sim.RunFor(d) }
+
+// RunUntil advances virtual time to the absolute instant t.
+func (g *Group) RunUntil(t time.Duration) { g.cluster.Sim.RunUntil(t) }
+
+// At schedules fn at absolute virtual time t (workload scripting).
+func (g *Group) At(t time.Duration, fn func()) { g.cluster.Sim.At(t, fn) }
+
+// CountReceived returns how many members have received id.
+func (g *Group) CountReceived(id MessageID) int { return g.cluster.CountReceived(id) }
+
+// CountBuffered returns how many members currently buffer id.
+func (g *Group) CountBuffered(id MessageID) int { return g.cluster.CountBuffered(id) }
+
+// TotalPacketsSent returns all packets offered to the network so far.
+func (g *Group) TotalPacketsSent() int64 { return g.cluster.Net.Stats().TotalSent() }
+
+// TotalBytesSent returns all bytes offered to the network so far.
+func (g *Group) TotalBytesSent() int64 { return g.cluster.Net.Stats().TotalBytes() }
+
+// Crash marks a member as failed: its traffic is dropped from now on.
+func (g *Group) Crash(id NodeID) { g.cluster.Net.SetDown(id, true) }
+
+// Leave makes a member depart gracefully, handing its long-term buffer to
+// random region peers (§3.2).
+func (g *Group) Leave(id NodeID) { g.cluster.Members[id].Leave() }
+
+// GroupStats aggregates per-member metrics across the whole group.
+type GroupStats struct {
+	Delivered          int64
+	Duplicates         int64
+	LocalRequests      int64
+	RemoteRequests     int64
+	Repairs            int64
+	RegionalMulticasts int64
+	Handoffs           int64
+	LongTermEntries    int
+	BufferedEntries    int
+	// BufferIntegral is total message-seconds of buffering paid so far.
+	BufferIntegral float64
+	// MeanRecoveryMs averages recovery latency over all repaired losses.
+	MeanRecoveryMs float64
+	// MeanBufferingMs averages store→evict times.
+	MeanBufferingMs float64
+}
+
+// Stats aggregates metrics across all members at the current instant.
+func (g *Group) Stats() GroupStats {
+	var s GroupStats
+	var recSum, recN, bufSum, bufN float64
+	for _, m := range g.cluster.Members {
+		mm := m.Metrics()
+		s.Delivered += mm.Delivered.Value()
+		s.Duplicates += mm.Duplicates.Value()
+		s.LocalRequests += mm.LocalReqSent.Value()
+		s.RemoteRequests += mm.RemoteReqSent.Value()
+		s.Repairs += mm.RepairsSent.Value()
+		s.RegionalMulticasts += mm.RegionalMulticasts.Value()
+		s.Handoffs += mm.HandoffsSent.Value()
+		s.LongTermEntries += m.Buffer().LongTermCount()
+		s.BufferedEntries += m.Buffer().Len()
+		s.BufferIntegral += m.Buffer().OccupancyIntegral(g.Now())
+		recSum += mm.RecoveryLatency.Mean() * float64(mm.RecoveryLatency.N())
+		recN += float64(mm.RecoveryLatency.N())
+		bufSum += mm.BufferingTime.Mean() * float64(mm.BufferingTime.N())
+		bufN += float64(mm.BufferingTime.N())
+	}
+	if recN > 0 {
+		s.MeanRecoveryMs = recSum / recN
+	}
+	if bufN > 0 {
+		s.MeanBufferingMs = bufSum / bufN
+	}
+	return s
+}

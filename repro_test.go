@@ -1,0 +1,186 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func TestGroupDefaults(t *testing.T) {
+	g, err := repro.NewGroup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumMembers() != 100 || g.NumRegions() != 1 {
+		t.Fatalf("members=%d regions=%d", g.NumMembers(), g.NumRegions())
+	}
+	id := g.Publish([]byte("hello"))
+	g.Run(time.Second)
+	if got := g.CountReceived(id); got != 100 {
+		t.Fatalf("received %d/100 on a lossless network", got)
+	}
+}
+
+func TestGroupRecoversUnderLoss(t *testing.T) {
+	params := repro.DefaultParams()
+	params.C = 40 // guarantee long-term bufferers for certainty
+	g, err := repro.NewGroup(
+		repro.WithRegions(40),
+		repro.WithDataLoss(0.3),
+		repro.WithSeed(7),
+		repro.WithParams(params),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.StartSessions()
+	var ids []repro.MessageID
+	for i := 0; i < 5; i++ {
+		i := i
+		g.At(time.Duration(i)*20*time.Millisecond, func() {
+			ids = append(ids, g.Publish([]byte{byte(i)}))
+		})
+	}
+	g.Run(3 * time.Second)
+	for _, id := range ids {
+		if got := g.CountReceived(id); got != 40 {
+			t.Fatalf("message %v received by %d/40", id, got)
+		}
+	}
+	s := g.Stats()
+	if s.LocalRequests == 0 {
+		t.Fatal("no recovery traffic despite 30% loss")
+	}
+	if s.MeanRecoveryMs <= 0 {
+		t.Fatal("recovery latency not recorded")
+	}
+}
+
+func TestGroupMultiRegion(t *testing.T) {
+	g, err := repro.NewGroup(repro.WithRegions(10, 10, 10), repro.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRegions() != 3 {
+		t.Fatalf("regions = %d", g.NumRegions())
+	}
+	id := g.Publish([]byte("multi"))
+	g.Run(2 * time.Second)
+	if got := g.CountReceived(id); got != 30 {
+		t.Fatalf("received %d/30", got)
+	}
+}
+
+func TestGroupStar(t *testing.T) {
+	g, err := repro.NewGroup(repro.WithStar(5, 5, 5), repro.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := g.Publish([]byte("star"))
+	g.Run(2 * time.Second)
+	if got := g.CountReceived(id); got != 15 {
+		t.Fatalf("received %d/15", got)
+	}
+}
+
+func TestGroupPolicies(t *testing.T) {
+	for _, kind := range []repro.PolicyKind{
+		repro.PolicyTwoPhase, repro.PolicyFixedHold, repro.PolicyBufferAll, repro.PolicyHashElect,
+	} {
+		g, err := repro.NewGroup(repro.WithRegions(10), repro.WithPolicy(kind), repro.WithSeed(5))
+		if err != nil {
+			t.Fatalf("policy %d: %v", kind, err)
+		}
+		id := g.Publish([]byte("p"))
+		g.Run(2 * time.Second)
+		if got := g.CountReceived(id); got != 10 {
+			t.Fatalf("policy %d: received %d/10", kind, got)
+		}
+		if kind == repro.PolicyBufferAll && g.CountBuffered(id) != 10 {
+			t.Fatal("buffer-all discarded")
+		}
+	}
+}
+
+func TestGroupInvalidOptions(t *testing.T) {
+	if _, err := repro.NewGroup(repro.WithRegions()); err == nil {
+		t.Fatal("empty regions accepted")
+	}
+	if _, err := repro.NewGroup(repro.WithRegions(0)); err == nil {
+		t.Fatal("zero-size region accepted")
+	}
+}
+
+func TestGroupLeaveAndCrash(t *testing.T) {
+	g, err := repro.NewGroup(repro.WithRegions(10), repro.WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := g.Publish([]byte("x"))
+	g.Run(500 * time.Millisecond)
+	g.Leave(3)
+	g.Crash(4)
+	id2 := g.Publish([]byte("y"))
+	g.Run(time.Second)
+	if g.Member(3).HasReceived(id2) || g.Member(4).HasReceived(id2) {
+		t.Fatal("departed members processed new traffic")
+	}
+	_ = id
+}
+
+func TestGroupDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int64, int64) {
+		g, err := repro.NewGroup(repro.WithRegions(20), repro.WithDataLoss(0.2), repro.WithSeed(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.StartSessions()
+		g.Publish([]byte("d"))
+		g.Run(time.Second)
+		return g.TotalPacketsSent(), g.Stats().Delivered
+	}
+	p1, d1 := run()
+	p2, d2 := run()
+	if p1 != p2 || d1 != d2 {
+		t.Fatalf("same seed diverged: packets %d vs %d, delivered %d vs %d", p1, p2, d1, d2)
+	}
+}
+
+func TestGroupBurstLoss(t *testing.T) {
+	params := repro.DefaultParams()
+	params.C = 20
+	g, err := repro.NewGroup(
+		repro.WithRegions(20),
+		repro.WithBurstDataLoss(0.2),
+		repro.WithSeed(8),
+		repro.WithParams(params),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.StartSessions()
+	id := g.Publish([]byte("burst"))
+	g.Run(3 * time.Second)
+	if got := g.CountReceived(id); got != 20 {
+		t.Fatalf("received %d/20 under burst loss", got)
+	}
+}
+
+func TestFigureFacades(t *testing.T) {
+	if s := repro.Figure3([]float64{6}, 100, 1000, 1); len(s) != 2 {
+		t.Fatal("Figure3 facade")
+	}
+	if s := repro.Figure4([]float64{1, 6}, 100, 1000, 1); len(s) != 2 {
+		t.Fatal("Figure4 facade")
+	}
+	if s, err := repro.Figure6(2, 1); err != nil || len(s.X) == 0 {
+		t.Fatalf("Figure6 facade: %v", err)
+	}
+	if s, err := repro.Figure7(1); err != nil || len(s.TimesMs) == 0 {
+		t.Fatalf("Figure7 facade: %v", err)
+	}
+	if res, err := repro.RunSearch(repro.SearchConfig{RegionSize: 30, Bufferers: 5, Runs: 3, Seed: 1}); err != nil || res.FailedRuns != 0 {
+		t.Fatalf("RunSearch facade: %+v err=%v", res, err)
+	}
+}
