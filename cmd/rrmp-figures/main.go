@@ -5,10 +5,13 @@
 // Usage:
 //
 //	rrmp-figures [-fig 3|4|6|7|8|9|A1|A2|A3|A4|A5|A6|all] [-runs N] [-seed S]
+//	             [-trials N] [-parallel P]
 //
 // Run counts trade precision for time; the defaults regenerate each figure
 // in a few seconds. Output units match the paper's axes (milliseconds,
-// percent).
+// percent). With -trials > 1, the ablations that have multi-trial variants
+// (A1, A5) rerun the whole experiment across independently seeded parallel
+// trials and print every column as mean ± 95% CI.
 package main
 
 import (
@@ -24,15 +27,18 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3,4,6,7,8,9,A1..A6 or all")
 	runs := flag.Int("runs", 0, "runs to average per data point (0 = per-figure default)")
 	seed := flag.Uint64("seed", 1, "root random seed")
+	trials := flag.Int("trials", 1, "independently seeded trials for A1/A5 (columns become mean±95% CI)")
+	parallel := flag.Int("parallel", 0, "worker pool size for -trials (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*fig, *runs, *seed); err != nil {
+	if err := run(*fig, *runs, *seed, *trials, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "rrmp-figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, runs int, seed uint64) error {
+func run(fig string, runs int, seed uint64, trials, parallel int) error {
+	opt := repro.SweepOptions{Trials: trials, Parallel: parallel, BaseSeed: seed}
 	want := func(name string) bool { return fig == "all" || strings.EqualFold(fig, name) }
 	or := func(def int) int {
 		if runs > 0 {
@@ -99,14 +105,31 @@ func run(fig string, runs int, seed uint64) error {
 	if want("A1") {
 		any = true
 		header("Ablation A1 — buffering policy cost (n=100, 30 msgs, 10% loss)")
-		rows, err := repro.AblationPolicies(seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-18s %10s %14s %8s %12s\n", "policy", "delivery", "buf(msg·s)", "peak", "mean-buf(ms)")
-		for _, r := range rows {
-			fmt.Printf("%-18s %9.2f%% %14.1f %8d %12.1f\n",
-				r.Policy, 100*r.DeliveryRatio, r.BufferIntegral, r.PeakPerMember, r.MeanBufferingMs)
+		if trials > 1 {
+			rows, err := repro.AblationPoliciesTrials(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d trials; every column is mean ± 95%% CI\n", trials)
+			fmt.Printf("%-18s %16s %20s %12s %18s\n", "policy", "delivery", "buf(msg·s)", "peak", "mean-buf(ms)")
+			for _, r := range rows {
+				fmt.Printf("%-18s %7.2f±%.2f%% %14.1f±%.1f %7.1f±%.1f %12.1f±%.1f\n",
+					r.Policy,
+					100*r.DeliveryRatio.Mean, 100*r.DeliveryRatio.CI95,
+					r.BufferIntegral.Mean, r.BufferIntegral.CI95,
+					r.PeakPerMember.Mean, r.PeakPerMember.CI95,
+					r.MeanBufferingMs.Mean, r.MeanBufferingMs.CI95)
+			}
+		} else {
+			rows, err := repro.AblationPolicies(seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-18s %10s %14s %8s %12s\n", "policy", "delivery", "buf(msg·s)", "peak", "mean-buf(ms)")
+			for _, r := range rows {
+				fmt.Printf("%-18s %9.2f%% %14.1f %8d %12.1f\n",
+					r.Policy, 100*r.DeliveryRatio, r.BufferIntegral, r.PeakPerMember, r.MeanBufferingMs)
+			}
 		}
 	}
 	if want("A2") {
@@ -149,13 +172,28 @@ func run(fig string, runs int, seed uint64) error {
 	if want("A5") {
 		any = true
 		header("Ablation A5 — remote recovery λ sweep (region-wide loss, 50 members)")
-		rows, err := repro.AblationLambda([]float64{0.5, 1, 2, 4, 8}, or(10), seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%8s %14s %14s\n", "lambda", "remote-reqs", "recovery(ms)")
-		for _, r := range rows {
-			fmt.Printf("%8.1f %14.1f %14.1f\n", r.Lambda, r.RemoteRequests, r.RecoveryMs)
+		lambdas := []float64{0.5, 1, 2, 4, 8}
+		if trials > 1 {
+			rows, err := repro.AblationLambdaTrials(lambdas, or(10), opt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d trials; every column is mean ± 95%% CI\n", trials)
+			fmt.Printf("%8s %18s %18s\n", "lambda", "remote-reqs", "recovery(ms)")
+			for _, r := range rows {
+				fmt.Printf("%8.1f %12.1f±%.1f %12.1f±%.1f\n",
+					r.Lambda, r.RemoteRequests.Mean, r.RemoteRequests.CI95,
+					r.RecoveryMs.Mean, r.RecoveryMs.CI95)
+			}
+		} else {
+			rows, err := repro.AblationLambda(lambdas, or(10), seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%8s %14s %14s\n", "lambda", "remote-reqs", "recovery(ms)")
+			for _, r := range rows {
+				fmt.Printf("%8.1f %14.1f %14.1f\n", r.Lambda, r.RemoteRequests, r.RecoveryMs)
+			}
 		}
 	}
 	if want("A6") {

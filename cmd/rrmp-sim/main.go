@@ -1,14 +1,30 @@
-// Command rrmp-sim runs one simulated RRMP scenario and prints a metrics
-// summary: topology, workload, loss and policy are all flags.
+// Command rrmp-sim runs simulated RRMP scenarios and prints metrics:
+// topology, workload, loss, churn and policy are all flags.
 //
-// Examples:
+// One scenario, one trial (the original mode):
 //
 //	rrmp-sim -regions 100 -msgs 50 -loss 0.2
 //	rrmp-sim -regions 50,50,50 -msgs 20 -loss 0.1 -policy fixed -hold 500ms
 //	rrmp-sim -regions 100 -msgs 10 -loss 0.3 -c 12 -seed 7 -trace
+//
+// Multi-trial statistics for one scenario (mean / stddev / 95% CI across
+// independently seeded trials, run on a bounded worker pool):
+//
+//	rrmp-sim -regions 100 -loss 0.2 -trials 16 -parallel 8
+//
+// A full scenario sweep (regions × loss × churn × policy matrix; -sweep-*
+// flags override the default matrix), with the JSON report also written to
+// -out for machine tracking:
+//
+//	rrmp-sim -sweep -trials 8 -parallel 4 -json
+//	rrmp-sim -sweep -sweep-losses 0.1,0.3 -sweep-policies two-phase,all -trials 4
+//
+// The report is a pure function of (matrix, -trials, -seed): the same
+// seeds produce byte-identical aggregates at any -parallel width.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +33,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -28,35 +46,252 @@ func main() {
 		gap     = flag.Duration("gap", 20*time.Millisecond, "inter-message gap")
 		loss    = flag.Float64("loss", 0.2, "independent DATA loss probability")
 		burst   = flag.Bool("burst", false, "use a Gilbert-Elliott burst loss channel instead")
+		churn   = flag.Float64("churn", 0, "graceful leaves per second (Poisson over non-sender members)")
 		c       = flag.Float64("c", 6, "expected long-term bufferers per region (C)")
 		lambda  = flag.Float64("lambda", 1, "expected remote requests per regional loss (lambda)")
 		policy  = flag.String("policy", "two-phase", "buffering policy: two-phase|fixed|all|hash")
 		hold    = flag.Duration("hold", 500*time.Millisecond, "retention for -policy fixed")
 		seed    = flag.Uint64("seed", 1, "root random seed")
 		horizon = flag.Duration("horizon", 5*time.Second, "virtual run time")
-		doTrace = flag.Bool("trace", false, "stream protocol events to stderr")
+		doTrace = flag.Bool("trace", false, "stream protocol events to stderr (single-trial mode only)")
 		backoff = flag.Duration("backoff", 0, "regional repair multicast back-off window (0 = immediate)")
+
+		sweep    = flag.Bool("sweep", false, "run the scenario matrix instead of a single scenario")
+		trials   = flag.Int("trials", 1, "independently seeded trials per scenario cell")
+		parallel = flag.Int("parallel", 0, "worker pool size for trials (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "print the sweep report as JSON instead of a table")
+		outPath  = flag.String("out", "", "also write the sweep report JSON here (default BENCH_sweep.json for a default-matrix -sweep; empty = don't)")
+
+		swRegions  = flag.String("sweep-regions", "", "region vectors to sweep, e.g. '50;100;50,50' (default 50;100)")
+		swLosses   = flag.String("sweep-losses", "", "loss rates to sweep, e.g. '0.05,0.2' (default 0.05,0.2)")
+		swChurns   = flag.String("sweep-churns", "", "churn rates to sweep, e.g. '0,1' (default 0,1)")
+		swPolicies = flag.String("sweep-policies", "", "policies to sweep, e.g. 'two-phase,fixed' (default two-phase,fixed)")
 	)
 	flag.Parse()
 
-	if err := run(*regions, *star, *msgs, *gap, *loss, *burst, *c, *lambda,
-		*policy, *hold, *seed, *horizon, *doTrace, *backoff); err != nil {
+	// The committed record tracks the *default* matrix, so it is only the
+	// default target when no flag that changes cell semantics was given;
+	// customized sweeps and ad-hoc multi-trial runs must not clobber it.
+	// (-trials/-parallel/-json stay allowed: trial count is visible in the
+	// report and parallelism never changes its bytes.)
+	outSet, matrixCustomized := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "out":
+			outSet = true
+		case "regions", "star", "burst", "msgs", "gap", "horizon", "hold",
+			"c", "lambda", "backoff", "seed", "churn", "loss", "policy",
+			"sweep-regions", "sweep-losses", "sweep-churns", "sweep-policies":
+			matrixCustomized = true
+		}
+	})
+	if !outSet && *sweep && !matrixCustomized {
+		*outPath = "BENCH_sweep.json"
+	}
+	if outSet && *outPath != "" && !*sweep && *trials <= 1 {
+		fmt.Fprintln(os.Stderr, "rrmp-sim: -out only applies with -sweep or -trials > 1")
+		os.Exit(2)
+	}
+
+	var err error
+	if *sweep || *trials > 1 {
+		err = runSweep(sweepArgs{
+			sweep: *sweep, regionsCSV: *regions, star: *star, msgs: *msgs, gap: *gap,
+			loss: *loss, burst: *burst, churn: *churn, c: *c, lambda: *lambda,
+			backoff: *backoff, policy: *policy, hold: *hold,
+			seed: *seed, horizon: *horizon, trials: *trials, parallel: *parallel,
+			json: *jsonOut, outPath: *outPath,
+			swRegions: *swRegions, swLosses: *swLosses, swChurns: *swChurns, swPolicies: *swPolicies,
+		})
+	} else {
+		err = run(*regions, *star, *msgs, *gap, *loss, *burst, *churn, *c, *lambda,
+			*policy, *hold, *seed, *horizon, *doTrace, *backoff)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrmp-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(regionsCSV string, star bool, msgs int, gap time.Duration, loss float64,
-	burst bool, c, lambda float64, policyName string, hold time.Duration,
-	seed uint64, horizon time.Duration, doTrace bool, backoff time.Duration) error {
-
+// parseSizes parses one comma-separated region-size vector.
+func parseSizes(csv string) ([]int, error) {
 	var sizes []int
-	for _, f := range strings.Split(regionsCSV, ",") {
+	for _, f := range strings.Split(csv, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			return fmt.Errorf("parsing -regions: %w", err)
+			return nil, fmt.Errorf("parsing region sizes %q: %w", csv, err)
 		}
 		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+// parseFloats parses a comma-separated float list.
+func parseFloats(csv string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", csv, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+type sweepArgs struct {
+	sweep      bool
+	regionsCSV string
+	star       bool
+	msgs       int
+	gap        time.Duration
+	loss       float64
+	burst      bool
+	churn      float64
+	c          float64
+	lambda     float64
+	backoff    time.Duration
+	policy     string
+	hold       time.Duration
+	seed       uint64
+	horizon    time.Duration
+	trials     int
+	parallel   int
+	json       bool
+	outPath    string
+	swRegions  string
+	swLosses   string
+	swChurns   string
+	swPolicies string
+}
+
+// runSweep runs either the scenario matrix (-sweep) or a single-cell sweep
+// (-trials > 1 without -sweep) and reports per-cell aggregates.
+func runSweep(a sweepArgs) error {
+	var sw repro.Sweep
+	if a.sweep {
+		sw = repro.DefaultSweep()
+		if a.swRegions != "" {
+			sw.Regions = nil
+			for _, vec := range strings.Split(a.swRegions, ";") {
+				sizes, err := parseSizes(vec)
+				if err != nil {
+					return err
+				}
+				sw.Regions = append(sw.Regions, sizes)
+			}
+		}
+		var err error
+		if a.swLosses != "" {
+			if sw.Losses, err = parseFloats(a.swLosses); err != nil {
+				return err
+			}
+		}
+		if a.swChurns != "" {
+			if sw.Churns, err = parseFloats(a.swChurns); err != nil {
+				return err
+			}
+		}
+		if a.swPolicies != "" {
+			sw.Policies = nil
+			for _, p := range strings.Split(a.swPolicies, ",") {
+				sw.Policies = append(sw.Policies, strings.TrimSpace(p))
+			}
+		}
+	} else {
+		sizes, err := parseSizes(a.regionsCSV)
+		if err != nil {
+			return err
+		}
+		sw = repro.Sweep{
+			Regions:  [][]int{sizes},
+			Losses:   []float64{a.loss},
+			Churns:   []float64{a.churn},
+			Policies: []string{a.policy},
+		}
+	}
+	sw.Star = a.star
+	sw.Burst = a.burst
+	sw.FixedHold = a.hold
+	sw.C = a.c
+	sw.Lambda = a.lambda
+	sw.RepairBackoff = a.backoff
+	sw.Msgs = a.msgs
+	sw.Gap = a.gap
+	sw.Horizon = a.horizon
+
+	rep, err := repro.RunSweep(repro.SweepOptions{
+		Trials:   a.trials,
+		Parallel: a.parallel,
+		BaseSeed: a.seed,
+	}, sw)
+	if err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if a.json {
+		os.Stdout.Write(blob)
+	} else {
+		printReport(rep)
+	}
+	if a.outPath != "" {
+		if err := os.WriteFile(a.outPath, blob, 0o644); err != nil {
+			return fmt.Errorf("writing report: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "rrmp-sim: wrote %s (%d cells × %d trials)\n",
+			a.outPath, len(rep.Cells), rep.Trials)
+	}
+	return nil
+}
+
+// printReport prints the human-readable sweep table: headline metrics as
+// mean ± 95% CI per cell.
+func printReport(rep repro.SweepReport) {
+	fmt.Printf("sweep: %d cells × %d trials (base seed %d)\n\n", len(rep.Cells), rep.Trials, rep.BaseSeed)
+	fmt.Printf("%-52s %16s %12s %16s %18s %14s\n",
+		"cell", "delivery", "min-reach", "recovery(ms)", "buffer(msg·s)", "packets")
+	for _, cell := range rep.Cells {
+		fmt.Printf("%-52s %16s %12s %16s %18s %14s\n",
+			cell.Name,
+			meanCI(cell.Aggregate, "delivery_ratio", "%.3f"),
+			meanOnly(cell.Aggregate, "min_reach_frac", "%.2f"),
+			meanCI(cell.Aggregate, "mean_recovery_ms", "%.1f"),
+			meanCI(cell.Aggregate, "buffer_integral_msgsec", "%.1f"),
+			meanOnly(cell.Aggregate, "packets_sent", "%.0f"),
+		)
+	}
+}
+
+// meanCI formats a metric as "mean±ci" ("-" when absent).
+func meanCI(agg repro.TrialAggregate, name, verb string) string {
+	m, ok := agg.Metric(name)
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf(verb+"±"+verb, m.Mean, m.CI95)
+}
+
+// meanOnly formats a metric's mean ("-" when absent).
+func meanOnly(agg repro.TrialAggregate, name, verb string) string {
+	m, ok := agg.Metric(name)
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf(verb, m.Mean)
+}
+
+func run(regionsCSV string, star bool, msgs int, gap time.Duration, loss float64,
+	burst bool, churn float64, c, lambda float64, policyName string, hold time.Duration,
+	seed uint64, horizon time.Duration, doTrace bool, backoff time.Duration) error {
+
+	sizes, err := parseSizes(regionsCSV)
+	if err != nil {
+		return err
 	}
 
 	params := repro.DefaultParams()
@@ -106,11 +341,32 @@ func run(regionsCSV string, star bool, msgs int, gap time.Duration, loss float64
 		i := i
 		g.At(time.Duration(i)*gap, func() { ids = append(ids, g.Publish(make([]byte, 256))) })
 	}
+
+	// Churn: schedule Poisson-timed graceful leaves of distinct random
+	// non-sender members (the sweep runner's construction, shared so both
+	// modes produce the identical leave sequence for a seed).
+	leaves := 0
+	if churn > 0 {
+		var candidates []repro.NodeID
+		for n := repro.NodeID(0); n < repro.NodeID(g.NumMembers()); n++ {
+			if n != g.SenderID() {
+				candidates = append(candidates, n)
+			}
+		}
+		leaves = runner.ScheduleChurn(rng.New(seed).Split(runner.ChurnStreamLabel),
+			churn, horizon, candidates, func(at time.Duration, victim repro.NodeID) {
+				g.At(at, func() { g.Leave(victim) })
+			})
+	}
+
 	g.Run(horizon)
 
 	fmt.Printf("topology: %d members in %d regions (seed %d)\n", g.NumMembers(), g.NumRegions(), seed)
 	fmt.Printf("workload: %d messages every %v, %.0f%% DATA loss (burst=%v), policy %s\n",
 		msgs, gap, 100*loss, burst, policyName)
+	if churn > 0 {
+		fmt.Printf("churn:    %.2g leaves/s — %d members departed gracefully\n", churn, leaves)
+	}
 	fmt.Printf("virtual time: %v\n\n", g.Now())
 
 	complete := 0

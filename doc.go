@@ -33,4 +33,14 @@
 // motivates: buffering-policy cost, load balance against a tree protocol,
 // multicast-query reply implosion, churn handoff, the λ tradeoff, and
 // stability-detection traffic overhead. cmd/rrmp-figures prints them all.
+//
+// # Sweeps and statistics
+//
+// RunSweep runs declarative scenario matrices (region layout × data loss ×
+// churn × buffering policy) across a bounded worker pool, with every metric
+// aggregated to mean / stddev / 95% CI over independently seeded trials
+// (internal/exp). Aggregates are byte-identical at any parallelism.
+// cmd/rrmp-sim exposes the same machinery via -sweep, -trials, -parallel
+// and -json, and records the default matrix in BENCH_sweep.json. See
+// README.md for the operator's manual and DESIGN.md for the rationale.
 package repro

@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/clock"
@@ -171,13 +172,22 @@ func (b *Buffer) Get(id wire.MessageID) (*Entry, bool) {
 	return e, ok
 }
 
-// Entries returns a snapshot of all buffered entries (callers own the
-// slice; the pointed-to entries remain live).
+// Entries returns a snapshot of all buffered entries in message-id order
+// (callers own the slice; the pointed-to entries remain live). The order is
+// deterministic because callers pair entries with rng draws — the leave
+// protocol picks a random handoff peer per entry — and map iteration order
+// would make those pairings differ between identically seeded runs.
 func (b *Buffer) Entries() []*Entry {
 	out := make([]*Entry, 0, len(b.entries))
 	for _, e := range b.entries {
 		out = append(out, e)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.Source != out[j].ID.Source {
+			return out[i].ID.Source < out[j].ID.Source
+		}
+		return out[i].ID.Seq < out[j].ID.Seq
+	})
 	return out
 }
 

@@ -1,0 +1,70 @@
+package eventq
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Benchmarks for the simulator's hot path: every packet delivery and every
+// protocol timer is one Push (and often one Remove) on this queue, so sweep
+// throughput is bounded by these operations. BENCH_sweep.json tracks the
+// macro numbers; these isolate the queue itself.
+
+// BenchmarkSteadyStatePushPop measures steady-state heap traffic: a queue
+// holding 1024 random-time events pushes one more and pops the earliest,
+// per op (eventq_test.go's BenchmarkPushPop uses sequential times, which
+// hits the heap's best case; random times are the simulator's reality).
+func BenchmarkSteadyStatePushPop(b *testing.B) {
+	r := rng.New(1)
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		q.Push(time.Duration(r.Intn(1_000_000)), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(time.Duration(r.Intn(1_000_000)), fn)
+		q.Pop()
+	}
+}
+
+// BenchmarkTimerChurn measures the cancel path the protocol leans on: every
+// retransmission timer is removed when the awaited message arrives. Each op
+// pushes a random-time event into a 1024-event heap and removes it again.
+func BenchmarkTimerChurn(b *testing.B) {
+	r := rng.New(1)
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		q.Push(time.Duration(r.Intn(1_000_000)), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.Push(time.Duration(r.Intn(1_000_000)), fn)
+		if !q.Remove(e) {
+			b.Fatal("failed to remove a live event")
+		}
+	}
+}
+
+// BenchmarkDrain measures bulk ordered consumption: push 4096 random-time
+// events, pop all of them in order.
+func BenchmarkDrain(b *testing.B) {
+	r := rng.New(1)
+	fn := func() {}
+	times := make([]time.Duration, 4096)
+	for i := range times {
+		times[i] = time.Duration(r.Intn(1_000_000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var q Queue
+		for _, at := range times {
+			q.Push(at, fn)
+		}
+		for q.Pop() != nil {
+		}
+	}
+}

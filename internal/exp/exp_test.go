@@ -1,0 +1,260 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// noisyTrial is a deterministic stand-in for a simulation: its metrics are
+// a pure function of the seed, with enough work to let workers interleave.
+func noisyTrial(_ int, seed uint64) (map[string]float64, error) {
+	r := rng.New(seed)
+	sum := 0.0
+	for i := 0; i < 1000; i++ {
+		sum += r.Float64()
+	}
+	return map[string]float64{
+		"uniform_mean": sum / 1000,
+		"first_draw":   rng.New(seed).Float64(),
+	}, nil
+}
+
+func TestTrialSeedsDistinctAndStable(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 10000; i++ {
+		s := TrialSeed(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("TrialSeed(42, %d) == TrialSeed(42, %d) == %#x", i, prev, s)
+		}
+		seen[s] = i
+	}
+	if TrialSeed(42, 0) != TrialSeed(42, 0) {
+		t.Fatal("TrialSeed is not stable")
+	}
+	if TrialSeed(42, 0) == TrialSeed(43, 0) {
+		t.Fatal("TrialSeed ignores the base seed")
+	}
+}
+
+// TestRunDeterministicAcrossParallelism is the harness's core guarantee:
+// the same (BaseSeed, Trials) must aggregate to byte-identical JSON no
+// matter how many workers execute the trials.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	var blobs [][]byte
+	for _, parallel := range []int{1, 3, 8} {
+		agg, err := Run(Options{Trials: 32, Parallel: parallel, BaseSeed: 7}, noisyTrial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	for i := 1; i < len(blobs); i++ {
+		if string(blobs[0]) != string(blobs[i]) {
+			t.Fatalf("aggregate differs between parallel=1 and parallel run %d:\n%s\nvs\n%s",
+				i, blobs[0], blobs[i])
+		}
+	}
+}
+
+func TestRunUsesWorkerPool(t *testing.T) {
+	var mu sync.Mutex
+	inFlight, peak := 0, 0
+	_, err := Run(Options{Trials: 16, Parallel: 4, BaseSeed: 1},
+		func(int, uint64) (map[string]float64, error) {
+			mu.Lock()
+			inFlight++
+			if inFlight > peak {
+				peak = inFlight
+			}
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+			return map[string]float64{"x": 1}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 4 {
+		t.Fatalf("worker pool exceeded Parallel=4: peak %d trials in flight", peak)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(Options{Trials: 8, Parallel: 4, BaseSeed: 1},
+		func(trial int, _ uint64) (map[string]float64, error) {
+			if trial == 3 {
+				return nil, boom
+			}
+			return map[string]float64{"x": 1}, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want wrapped boom, got %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "trial 3") {
+		t.Fatalf("error should name the failing trial: %v", err)
+	}
+}
+
+// TestCIWidthOnKnownDistribution checks the aggregation against Uniform[0,1):
+// sample stddev ≈ 1/√12 and the CI95 half-width ≈ 1.96·sd/√n.
+func TestCIWidthOnKnownDistribution(t *testing.T) {
+	const trials = 1000
+	agg, err := Run(Options{Trials: trials, Parallel: 8, BaseSeed: 99},
+		func(_ int, seed uint64) (map[string]float64, error) {
+			return map[string]float64{"u": rng.New(seed).Float64()}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := agg.Metric("u")
+	if !ok {
+		t.Fatal("metric u missing")
+	}
+	if m.N != trials {
+		t.Fatalf("N = %d, want %d", m.N, trials)
+	}
+	wantSD := 1 / math.Sqrt(12)
+	if math.Abs(m.Stddev-wantSD) > 0.02 {
+		t.Fatalf("stddev = %.4f, want ≈ %.4f", m.Stddev, wantSD)
+	}
+	wantHW := 1.96 * m.Stddev / math.Sqrt(trials)
+	if math.Abs(m.CI95-wantHW) > 1e-9 {
+		t.Fatalf("CI95 = %.6f, want %.6f for n=%d", m.CI95, wantHW, trials)
+	}
+	// The true mean must sit inside a 3×-CI band around the estimate
+	// (a fixed-seed run either passes forever or fails forever).
+	if math.Abs(m.Mean-0.5) > 3*m.CI95 {
+		t.Fatalf("mean = %.4f implausibly far from 0.5 (CI95 %.4f)", m.Mean, m.CI95)
+	}
+	if m.Min < 0 || m.Max >= 1 {
+		t.Fatalf("min/max %.4f/%.4f outside [0,1)", m.Min, m.Max)
+	}
+}
+
+func TestAggregateSmallSampleUsesStudentT(t *testing.T) {
+	agg := AggregateTrials([]map[string]float64{
+		{"x": 1}, {"x": 2}, {"x": 3},
+	})
+	m, _ := agg.Metric("x")
+	// n=3: sd = 1, CI95 = t(0.975, df=2)·1/√3 = 4.303/√3.
+	want := 4.303 / math.Sqrt(3)
+	if math.Abs(m.CI95-want) > 1e-9 {
+		t.Fatalf("CI95 = %.6f, want %.6f", m.CI95, want)
+	}
+}
+
+func TestSweepExpansionCartesian(t *testing.T) {
+	sw := Sweep{
+		Regions:  [][]int{{50}, {100}, {50, 50}},
+		Losses:   []float64{0.05, 0.2},
+		Churns:   []float64{0},
+		Policies: []string{"two-phase", "fixed", "all"},
+	}
+	cells := sw.Expand()
+	if len(cells) != 3*2*1*3 {
+		t.Fatalf("expanded %d cells, want 18", len(cells))
+	}
+	// Policies vary fastest, regions slowest.
+	if cells[0].Policy != "two-phase" || cells[1].Policy != "fixed" || cells[2].Policy != "all" {
+		t.Fatalf("policy order wrong: %s, %s, %s", cells[0].Policy, cells[1].Policy, cells[2].Policy)
+	}
+	if cells[0].Loss != 0.05 || cells[3].Loss != 0.2 {
+		t.Fatalf("loss order wrong: %v then %v", cells[0].Loss, cells[3].Loss)
+	}
+	if len(cells[17].Regions) != 2 {
+		t.Fatalf("last cell should be the two-region vector, got %v", cells[17].Regions)
+	}
+	names := map[string]bool{}
+	for _, c := range cells {
+		if names[c.Name()] {
+			t.Fatalf("duplicate cell name %q", c.Name())
+		}
+		names[c.Name()] = true
+		if c.Msgs != 20 || c.Gap != 20*time.Millisecond || c.Horizon != 5*time.Second {
+			t.Fatalf("workload defaults not applied: %+v", c)
+		}
+	}
+	// Mutating one cell's region vector must not alias another expansion.
+	cells[0].Regions[0] = 999
+	if sw.Regions[0][0] != 50 {
+		t.Fatal("Expand aliased the sweep's region slices")
+	}
+}
+
+func TestSweepExpansionDefaults(t *testing.T) {
+	cells := (Sweep{}).Expand()
+	if len(cells) != 1 {
+		t.Fatalf("zero sweep expanded to %d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.Loss != 0 || c.Churn != 0 || c.Policy != "two-phase" || len(c.Regions) != 1 || c.Regions[0] != 100 {
+		t.Fatalf("zero sweep baseline cell wrong: %+v", c)
+	}
+}
+
+// TestRunSweepPairsSeedsAcrossCells verifies the common-random-numbers
+// design: trial i sees the same seed in every cell.
+func TestRunSweepPairsSeedsAcrossCells(t *testing.T) {
+	sw := Sweep{Policies: []string{"a", "b", "c"}}
+	var mu sync.Mutex
+	seeds := map[string]map[uint64]bool{} // policy -> set of seeds
+	rep, err := RunSweep(Options{Trials: 5, Parallel: 4, BaseSeed: 3}, sw,
+		func(sc Scenario, seed uint64) (map[string]float64, error) {
+			mu.Lock()
+			if seeds[sc.Policy] == nil {
+				seeds[sc.Policy] = map[uint64]bool{}
+			}
+			seeds[sc.Policy][seed] = true
+			mu.Unlock()
+			return map[string]float64{"seed_lo": float64(seed % 1000)}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 3 || rep.Trials != 5 || rep.Schema != ReportSchema {
+		t.Fatalf("report shape wrong: %d cells, %d trials, schema %q", len(rep.Cells), rep.Trials, rep.Schema)
+	}
+	want := fmt.Sprint(seeds["a"])
+	for _, p := range []string{"b", "c"} {
+		if fmt.Sprint(seeds[p]) != want {
+			t.Fatalf("cell %q saw different trial seeds than cell \"a\"", p)
+		}
+	}
+	for i, cell := range rep.Cells {
+		if cell.Name != cell.Scenario.Name() {
+			t.Fatalf("cell %d name %q != scenario name %q", i, cell.Name, cell.Scenario.Name())
+		}
+		if m, ok := cell.Aggregate.Metric("seed_lo"); !ok || m.N != 5 {
+			t.Fatalf("cell %d aggregate missing seed_lo over 5 trials: %+v", i, cell.Aggregate)
+		}
+	}
+}
+
+func TestRunSweepErrorNamesCell(t *testing.T) {
+	sw := Sweep{Policies: []string{"ok", "bad"}}
+	_, err := RunSweep(Options{Trials: 2, Parallel: 2, BaseSeed: 1}, sw,
+		func(sc Scenario, _ uint64) (map[string]float64, error) {
+			if sc.Policy == "bad" {
+				return nil, errors.New("kaput")
+			}
+			return map[string]float64{"x": 1}, nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "policy=bad") {
+		t.Fatalf("error should name the failing cell: %v", err)
+	}
+}

@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Scenario is one fully specified cell of a sweep: topology, fault model,
+// churn, buffering policy, and workload. Durations marshal as nanoseconds.
+type Scenario struct {
+	// Regions are the region sizes (chain hierarchy unless Star).
+	Regions []int `json:"regions"`
+	// Star attaches every region after the first directly to the sender's
+	// region (the paper's Figure 1 shape).
+	Star bool `json:"star,omitempty"`
+	// Loss is the independent DATA loss probability (recovery traffic stays
+	// lossless, as in §4).
+	Loss float64 `json:"loss"`
+	// Burst switches to a Gilbert–Elliott burst channel at roughly Loss.
+	Burst bool `json:"burst,omitempty"`
+	// Churn is the expected number of graceful leaves per second, drawn as
+	// a Poisson process over non-sender members (§3.2's handoff path).
+	Churn float64 `json:"churn"`
+	// Policy is the buffering policy: two-phase|fixed|all|hash.
+	Policy string `json:"policy"`
+	// FixedHold is the retention for Policy "fixed" (default 500 ms).
+	FixedHold time.Duration `json:"fixed_hold_ns,omitempty"`
+	// C, Lambda and RepairBackoff override the corresponding protocol
+	// parameters when positive (zero keeps the paper's §4 defaults).
+	C             float64       `json:"c,omitempty"`
+	Lambda        float64       `json:"lambda,omitempty"`
+	RepairBackoff time.Duration `json:"repair_backoff_ns,omitempty"`
+	// Msgs, Gap and Horizon define the publish workload and run length.
+	Msgs    int           `json:"msgs"`
+	Gap     time.Duration `json:"gap_ns"`
+	Horizon time.Duration `json:"horizon_ns"`
+}
+
+// Name returns the cell's stable human-readable identifier.
+func (s Scenario) Name() string {
+	sizes := make([]string, len(s.Regions))
+	for i, n := range s.Regions {
+		sizes[i] = fmt.Sprint(n)
+	}
+	shape := ""
+	if s.Star {
+		shape = "star:"
+	}
+	return fmt.Sprintf("regions=%s%s loss=%.2f churn=%.2g policy=%s",
+		shape, strings.Join(sizes, "+"), s.Loss, s.Churn, s.Policy)
+}
+
+// Sweep declares a scenario matrix. Expand takes the cartesian product of
+// the four swept dimensions; the scalar fields apply to every cell. Empty
+// dimensions default to a single baseline value, so a zero Sweep expands to
+// one lossless, churn-free, two-phase cell.
+type Sweep struct {
+	// Regions lists the region-size vectors to sweep (default [[100]]).
+	Regions [][]int `json:"regions,omitempty"`
+	// Star applies to every cell (chain hierarchy otherwise).
+	Star bool `json:"star,omitempty"`
+	// Losses lists DATA loss probabilities (default [0]).
+	Losses []float64 `json:"losses,omitempty"`
+	// Burst applies to every lossy cell.
+	Burst bool `json:"burst,omitempty"`
+	// Churns lists graceful-leave rates in members/second (default [0]).
+	Churns []float64 `json:"churns,omitempty"`
+	// Policies lists buffering policies (default ["two-phase"]).
+	Policies []string `json:"policies,omitempty"`
+	// FixedHold is the retention used by "fixed" cells (default 500 ms).
+	FixedHold time.Duration `json:"fixed_hold_ns,omitempty"`
+	// C, Lambda and RepairBackoff apply to every cell when positive (zero
+	// keeps the paper's §4 defaults).
+	C             float64       `json:"c,omitempty"`
+	Lambda        float64       `json:"lambda,omitempty"`
+	RepairBackoff time.Duration `json:"repair_backoff_ns,omitempty"`
+	// Msgs, Gap and Horizon define every cell's workload (defaults: 20
+	// messages, 20 ms apart, 5 s horizon).
+	Msgs    int           `json:"msgs,omitempty"`
+	Gap     time.Duration `json:"gap_ns,omitempty"`
+	Horizon time.Duration `json:"horizon_ns,omitempty"`
+}
+
+// DefaultSweep returns the standing benchmark matrix rrmp-sim runs when no
+// dimensions are given: 2 topologies × 2 loss rates × 2 churn rates × 2
+// policies. BENCH_sweep.json tracks this matrix across PRs.
+func DefaultSweep() Sweep {
+	return Sweep{
+		Regions:  [][]int{{50}, {100}},
+		Losses:   []float64{0.05, 0.20},
+		Churns:   []float64{0, 1},
+		Policies: []string{"two-phase", "fixed"},
+	}
+}
+
+// Expand returns the cartesian product in a fixed order: regions outermost,
+// then losses, churns, and policies innermost. The order is part of the
+// report schema — cells keep their position across runs.
+func (sw Sweep) Expand() []Scenario {
+	regions := sw.Regions
+	if len(regions) == 0 {
+		regions = [][]int{{100}}
+	}
+	losses := sw.Losses
+	if len(losses) == 0 {
+		losses = []float64{0}
+	}
+	churns := sw.Churns
+	if len(churns) == 0 {
+		churns = []float64{0}
+	}
+	policies := sw.Policies
+	if len(policies) == 0 {
+		policies = []string{"two-phase"}
+	}
+	msgs := sw.Msgs
+	if msgs <= 0 {
+		msgs = 20
+	}
+	gap := sw.Gap
+	if gap <= 0 {
+		gap = 20 * time.Millisecond
+	}
+	horizon := sw.Horizon
+	if horizon <= 0 {
+		horizon = 5 * time.Second
+	}
+	hold := sw.FixedHold
+	if hold <= 0 {
+		hold = 500 * time.Millisecond
+	}
+
+	out := make([]Scenario, 0, len(regions)*len(losses)*len(churns)*len(policies))
+	for _, r := range regions {
+		for _, l := range losses {
+			for _, ch := range churns {
+				for _, p := range policies {
+					out = append(out, Scenario{
+						Regions:       append([]int(nil), r...),
+						Star:          sw.Star,
+						Loss:          l,
+						Burst:         sw.Burst,
+						Churn:         ch,
+						Policy:        p,
+						FixedHold:     hold,
+						C:             sw.C,
+						Lambda:        sw.Lambda,
+						RepairBackoff: sw.RepairBackoff,
+						Msgs:          msgs,
+						Gap:           gap,
+						Horizon:       horizon,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ScenarioFunc runs one seeded trial of one scenario and returns its
+// metrics. internal/runner provides the canonical implementation.
+type ScenarioFunc func(sc Scenario, seed uint64) (map[string]float64, error)
+
+// Cell is one aggregated sweep cell.
+type Cell struct {
+	Name      string    `json:"name"`
+	Scenario  Scenario  `json:"scenario"`
+	Aggregate Aggregate `json:"aggregate"`
+}
+
+// ReportSchema identifies the sweep report's JSON layout; bump it on any
+// incompatible change so downstream trackers can dispatch.
+const ReportSchema = "rrmp-sweep/v1"
+
+// Report is a whole sweep's output. It deliberately contains nothing
+// scheduling- or wall-clock-dependent: the same (sweep, trials, base seed)
+// marshal to byte-identical JSON at any parallelism.
+type Report struct {
+	Schema   string `json:"schema"`
+	BaseSeed uint64 `json:"base_seed"`
+	Trials   int    `json:"trials"`
+	Cells    []Cell `json:"cells"`
+}
+
+// Cell returns the cell with the given name, if present.
+func (r Report) Cell(name string) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// RunSweep expands the sweep and runs every (cell, trial) pair through one
+// worker pool, so a wide matrix with few trials parallelizes as well as a
+// narrow one with many. Trial i uses the same seed in every cell — common
+// random numbers, the paired design that lets per-cell differences be read
+// as policy effects rather than draw luck.
+func RunSweep(o Options, sw Sweep, run ScenarioFunc) (Report, error) {
+	o = o.normalized()
+	scenarios := sw.Expand()
+	results := make([][]map[string]float64, len(scenarios))
+	for i := range results {
+		results[i] = make([]map[string]float64, o.Trials)
+	}
+	err := runJobs(o.Parallel, len(scenarios)*o.Trials, func(j int) error {
+		cell, trial := j/o.Trials, j%o.Trials
+		seed := TrialSeed(o.BaseSeed, trial)
+		m, err := run(scenarios[cell], seed)
+		if err != nil {
+			return fmt.Errorf("exp: cell %q trial %d (seed %#x): %w",
+				scenarios[cell].Name(), trial, seed, err)
+		}
+		results[cell][trial] = m
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
+	rep := Report{Schema: ReportSchema, BaseSeed: o.BaseSeed, Trials: o.Trials}
+	for i, sc := range scenarios {
+		rep.Cells = append(rep.Cells, Cell{
+			Name:      sc.Name(),
+			Scenario:  sc,
+			Aggregate: AggregateTrials(results[i]),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"repro/internal/exp"
+)
+
+// Multi-trial variants of the ablation drivers: the same experiments run
+// across exp's seeded worker pool, with every reported column aggregated
+// into mean / stddev / 95% CI instead of a single draw. Each trial writes
+// its rows into a slot owned by its trial index, so aggregation order (and
+// the resulting floats) is independent of worker scheduling.
+
+// column collects row r's column value across trials.
+func column[T any](rowsByTrial [][]T, r int, get func(T) float64) []float64 {
+	out := make([]float64, 0, len(rowsByTrial))
+	for _, rows := range rowsByTrial {
+		out = append(out, get(rows[r]))
+	}
+	return out
+}
+
+// PolicySummary is one policy's A1 columns aggregated across trials.
+type PolicySummary struct {
+	Policy          string            `json:"policy"`
+	DeliveryRatio   exp.MetricSummary `json:"delivery_ratio"`
+	BufferIntegral  exp.MetricSummary `json:"buffer_integral"`
+	PeakPerMember   exp.MetricSummary `json:"peak_per_member"`
+	MeanBufferingMs exp.MetricSummary `json:"mean_buffering_ms"`
+}
+
+// AblationPoliciesTrials runs A1 (buffering-policy cost vs reliability)
+// o.Trials times with independent seeds and aggregates each policy row.
+func AblationPoliciesTrials(o exp.Options) ([]PolicySummary, error) {
+	rowsByTrial := make([][]PolicyComparison, max(o.Trials, 1))
+	_, err := exp.RunTrials(o, func(trial int, seed uint64) (map[string]float64, error) {
+		rows, err := AblationPolicies(seed)
+		if err != nil {
+			return nil, err
+		}
+		rowsByTrial[trial] = rows
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]PolicySummary, 0, len(rowsByTrial[0]))
+	for r, row := range rowsByTrial[0] {
+		out = append(out, PolicySummary{
+			Policy: row.Policy,
+			DeliveryRatio: exp.Summarize("delivery_ratio",
+				column(rowsByTrial, r, func(c PolicyComparison) float64 { return c.DeliveryRatio })),
+			BufferIntegral: exp.Summarize("buffer_integral",
+				column(rowsByTrial, r, func(c PolicyComparison) float64 { return c.BufferIntegral })),
+			PeakPerMember: exp.Summarize("peak_per_member",
+				column(rowsByTrial, r, func(c PolicyComparison) float64 { return float64(c.PeakPerMember) })),
+			MeanBufferingMs: exp.Summarize("mean_buffering_ms",
+				column(rowsByTrial, r, func(c PolicyComparison) float64 { return c.MeanBufferingMs })),
+		})
+	}
+	return out, nil
+}
+
+// LambdaSummary is one λ point of A5 aggregated across trials.
+type LambdaSummary struct {
+	Lambda         float64           `json:"lambda"`
+	RemoteRequests exp.MetricSummary `json:"remote_requests"`
+	RecoveryMs     exp.MetricSummary `json:"recovery_ms"`
+}
+
+// AblationLambdaTrials runs A5 (the λ remote-recovery tradeoff) o.Trials
+// times with independent seeds and aggregates each λ point. runs is the
+// inner per-point repetition count AblationLambda already averages over.
+func AblationLambdaTrials(lambdas []float64, runs int, o exp.Options) ([]LambdaSummary, error) {
+	rowsByTrial := make([][]LambdaPoint, max(o.Trials, 1))
+	_, err := exp.RunTrials(o, func(trial int, seed uint64) (map[string]float64, error) {
+		rows, err := AblationLambda(lambdas, runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		rowsByTrial[trial] = rows
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]LambdaSummary, 0, len(rowsByTrial[0]))
+	for r, row := range rowsByTrial[0] {
+		out = append(out, LambdaSummary{
+			Lambda: row.Lambda,
+			RemoteRequests: exp.Summarize("remote_requests",
+				column(rowsByTrial, r, func(p LambdaPoint) float64 { return p.RemoteRequests })),
+			RecoveryMs: exp.Summarize("recovery_ms",
+				column(rowsByTrial, r, func(p LambdaPoint) float64 { return p.RecoveryMs })),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/rrmp"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Churn and loss draw from dedicated streams split off the trial seed with
+// labels far above any node id (member streams use labels 1..NumNodes).
+const (
+	lossStreamLabel = 0xfeed1055
+	// ChurnStreamLabel derives the churn stream; exported so rrmp-sim's
+	// single-run mode schedules the identical leave sequence for a seed.
+	ChurnStreamLabel = 0xfeedc4a2
+)
+
+// ScheduleChurn draws Poisson-timed graceful leaves of distinct random
+// candidates at the given rate (leaves/second) until the horizon, invoking
+// schedule for each (time, victim) pair, and returns how many it scheduled.
+// It consumes candidates without replacement, so no member leaves twice.
+// rrmp-sim's single-run mode and RunScenario share this construction.
+func ScheduleChurn(r *rng.Source, rate float64, horizon time.Duration,
+	candidates []topology.NodeID, schedule func(at time.Duration, victim topology.NodeID)) int {
+	if rate <= 0 {
+		return 0
+	}
+	pool := append([]topology.NodeID(nil), candidates...)
+	leaves := 0
+	at := time.Duration(r.ExpFloat64(rate) * float64(time.Second))
+	for at < horizon && len(pool) > 0 {
+		i := r.Intn(len(pool))
+		victim := pool[i]
+		pool[i] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		schedule(at, victim)
+		leaves++
+		at += time.Duration(r.ExpFloat64(rate) * float64(time.Second))
+	}
+	return leaves
+}
+
+// RunScenario builds one cluster for the scenario and runs its workload to
+// the horizon, returning the cell metrics exp aggregates. It is the
+// ScenarioFunc the sweep subsystem runs; everything it does is a pure
+// function of (sc, seed), which is what makes sweep aggregates reproducible
+// at any parallelism.
+func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
+	var (
+		topo *topology.Topology
+		err  error
+	)
+	if sc.Star {
+		topo, err = topology.Star(sc.Regions...)
+	} else {
+		topo, err = topology.Chain(sc.Regions...)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runner: scenario topology: %w", err)
+	}
+
+	var loss netsim.LossModel
+	if sc.Loss > 0 {
+		only := map[wire.Type]bool{wire.TypeData: true}
+		lossRng := rng.New(seed).Split(lossStreamLabel)
+		if sc.Burst {
+			loss = &netsim.GilbertElliott{
+				PGood: sc.Loss / 4, PBad: 0.9,
+				PGB: 0.02, PBG: 0.2,
+				Only: only, Rng: lossRng,
+			}
+		} else {
+			loss = &netsim.BernoulliLoss{P: sc.Loss, Only: only, Rng: lossRng}
+		}
+	}
+
+	hold := sc.FixedHold
+	if hold <= 0 {
+		hold = 500 * time.Millisecond
+	}
+	var policy func(view topology.View, p rrmp.Params) core.Policy
+	switch sc.Policy {
+	case "", "two-phase":
+		policy = nil // the member builds the paper's policy itself
+	case "fixed":
+		policy = func(topology.View, rrmp.Params) core.Policy {
+			return &core.FixedHold{D: hold}
+		}
+	case "all":
+		policy = func(topology.View, rrmp.Params) core.Policy { return core.BufferAll{} }
+	case "hash":
+		policy = func(view topology.View, p rrmp.Params) core.Policy {
+			region := append([]topology.NodeID{view.Self}, view.RegionPeers...)
+			return core.NewHashElect(p.IdleThreshold, int(p.C), view.Self, region, p.LongTermTTL)
+		}
+	default:
+		return nil, fmt.Errorf("runner: unknown scenario policy %q", sc.Policy)
+	}
+
+	params := rrmp.DefaultParams()
+	if sc.C > 0 {
+		params.C = sc.C
+	}
+	if sc.Lambda > 0 {
+		params.Lambda = sc.Lambda
+	}
+	if sc.RepairBackoff > 0 {
+		params.RepairBackoffMax = sc.RepairBackoff
+	}
+	c, err := NewCluster(ClusterConfig{
+		Topo:   topo,
+		Params: params,
+		Seed:   seed,
+		Loss:   loss,
+		Policy: policy,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: scenario cluster: %w", err)
+	}
+
+	c.Sender.StartSessions()
+	ids := make([]wire.MessageID, 0, sc.Msgs)
+	for i := 0; i < sc.Msgs; i++ {
+		i := i
+		c.Sim.At(time.Duration(i)*sc.Gap, func() {
+			ids = append(ids, c.Sender.Publish(make([]byte, 256)))
+		})
+	}
+
+	// Churn: Poisson-timed graceful leaves of distinct random non-sender
+	// members, exercising §3.2's long-term handoff under load.
+	leaves := 0
+	if sc.Churn > 0 {
+		candidates := make([]topology.NodeID, 0, topo.NumNodes()-1)
+		for _, n := range c.All {
+			if n != topo.Sender() {
+				candidates = append(candidates, n)
+			}
+		}
+		leaves = ScheduleChurn(rng.New(seed).Split(ChurnStreamLabel), sc.Churn, sc.Horizon,
+			candidates, func(at time.Duration, victim topology.NodeID) {
+				c.Sim.At(at, func() { c.Members[victim].Leave() })
+			})
+	}
+
+	c.Sim.RunUntil(sc.Horizon)
+
+	n := topo.NumNodes()
+	out := map[string]float64{
+		"leaves":       float64(leaves),
+		"packets_sent": float64(c.Net.Stats().TotalSent()),
+		"bytes_sent":   float64(c.Net.Stats().TotalBytes()),
+		"events":       float64(c.Sim.Processed()),
+	}
+	var delivered, duplicates, localReq, remoteReq, repairs, regional, handoffs int64
+	var bufferIntegral float64
+	var peak, longTerm int
+	var recSum, recN, bufSum, bufN float64
+	for _, m := range c.Members {
+		mm := m.Metrics()
+		delivered += mm.Delivered.Value()
+		duplicates += mm.Duplicates.Value()
+		localReq += mm.LocalReqSent.Value()
+		remoteReq += mm.RemoteReqSent.Value()
+		repairs += mm.RepairsSent.Value()
+		regional += mm.RegionalMulticasts.Value()
+		handoffs += mm.HandoffsSent.Value()
+		bufferIntegral += m.Buffer().OccupancyIntegral(c.Sim.Now())
+		if p := m.Buffer().PeakLen(); p > peak {
+			peak = p
+		}
+		longTerm += m.Buffer().LongTermCount()
+		recSum += mm.RecoveryLatency.Mean() * float64(mm.RecoveryLatency.N())
+		recN += float64(mm.RecoveryLatency.N())
+		bufSum += mm.BufferingTime.Mean() * float64(mm.BufferingTime.N())
+		bufN += float64(mm.BufferingTime.N())
+	}
+	if sc.Msgs > 0 {
+		out["delivery_ratio"] = float64(delivered) / float64(n*sc.Msgs)
+		minReach := n
+		for _, id := range ids {
+			if got := c.CountReceived(id); got < minReach {
+				minReach = got
+			}
+		}
+		out["min_reach_frac"] = float64(minReach) / float64(n)
+	}
+	out["duplicates"] = float64(duplicates)
+	out["local_requests"] = float64(localReq)
+	out["remote_requests"] = float64(remoteReq)
+	out["repairs"] = float64(repairs)
+	out["regional_multicasts"] = float64(regional)
+	out["handoffs"] = float64(handoffs)
+	out["buffer_integral_msgsec"] = bufferIntegral
+	out["peak_buffered"] = float64(peak)
+	out["long_term_entries"] = float64(longTerm)
+	if recN > 0 {
+		out["mean_recovery_ms"] = recSum / recN
+	}
+	if bufN > 0 {
+		out["mean_buffering_ms"] = bufSum / bufN
+	}
+	return out, nil
+}
+
+// RunSweep expands sw and runs every (cell, trial) pair through the exp
+// worker pool with RunScenario as the kernel.
+func RunSweep(o exp.Options, sw exp.Sweep) (exp.Report, error) {
+	return exp.RunSweep(o, sw, RunScenario)
+}

@@ -1,0 +1,130 @@
+package runner
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// smallSweep is a fast 2×2 matrix for tests: one lossy and one churning
+// dimension over a 12-member region.
+func smallSweep() exp.Sweep {
+	return exp.Sweep{
+		Regions:  [][]int{{12}},
+		Losses:   []float64{0.2},
+		Churns:   []float64{0, 2},
+		Policies: []string{"two-phase", "fixed"},
+		Msgs:     5,
+		Gap:      20 * time.Millisecond,
+		Horizon:  2 * time.Second,
+	}
+}
+
+func TestRunScenarioMetrics(t *testing.T) {
+	sc := smallSweep().Expand()[0] // loss 0.2, churn 0, two-phase
+	m, err := RunScenario(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"delivery_ratio", "min_reach_frac", "local_requests", "repairs",
+		"buffer_integral_msgsec", "packets_sent", "bytes_sent", "events",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metric %q missing from scenario run", key)
+		}
+	}
+	if r := m["delivery_ratio"]; r <= 0.5 || r > 1 {
+		t.Fatalf("delivery_ratio = %v, want (0.5, 1] on a recoverable workload", r)
+	}
+	if m["leaves"] != 0 {
+		t.Fatalf("churn-free scenario recorded %v leaves", m["leaves"])
+	}
+}
+
+func TestRunScenarioChurnLeaves(t *testing.T) {
+	cells := smallSweep().Expand()
+	sc := cells[2] // loss 0.2, churn 2, two-phase
+	if sc.Churn != 2 {
+		t.Fatalf("expansion order changed: got churn %v", sc.Churn)
+	}
+	m, err := RunScenario(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 leaves/s over 2 s: expect some departures, but never more than the
+	// 11 non-sender members.
+	if m["leaves"] < 1 || m["leaves"] > 11 {
+		t.Fatalf("leaves = %v, want within [1, 11]", m["leaves"])
+	}
+}
+
+func TestRunScenarioRejectsUnknownPolicy(t *testing.T) {
+	sc := smallSweep().Expand()[0]
+	sc.Policy = "nope"
+	if _, err := RunScenario(sc, 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestRunSweepDeterministicAcrossParallelism is the tier-1 guarantee at the
+// runner layer: real simulations, not stub trials, must aggregate to
+// byte-identical reports at any pool width.
+func TestRunSweepDeterministicAcrossParallelism(t *testing.T) {
+	var blobs []string
+	for _, parallel := range []int{1, 4} {
+		rep, err := RunSweep(exp.Options{Trials: 3, Parallel: parallel, BaseSeed: 11}, smallSweep())
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, string(blob))
+	}
+	if blobs[0] != blobs[1] {
+		t.Fatal("sweep reports differ between parallel=1 and parallel=4")
+	}
+}
+
+func TestAblationPoliciesTrials(t *testing.T) {
+	rows, err := AblationPoliciesTrials(exp.Options{Trials: 2, Parallel: 2, BaseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d policy rows, want 5", len(rows))
+	}
+	if rows[0].Policy != "two-phase C=6" {
+		t.Fatalf("row order changed: first policy %q", rows[0].Policy)
+	}
+	for _, r := range rows {
+		if r.DeliveryRatio.N != 2 {
+			t.Fatalf("policy %q aggregated %d trials, want 2", r.Policy, r.DeliveryRatio.N)
+		}
+		if r.DeliveryRatio.Mean <= 0.9 || r.DeliveryRatio.Mean > 1 {
+			t.Fatalf("policy %q delivery %v implausible", r.Policy, r.DeliveryRatio.Mean)
+		}
+		if r.BufferIntegral.Mean <= 0 {
+			t.Fatalf("policy %q has zero buffering cost", r.Policy)
+		}
+	}
+}
+
+func TestAblationLambdaTrials(t *testing.T) {
+	rows, err := AblationLambdaTrials([]float64{1, 4}, 2, exp.Options{Trials: 2, Parallel: 2, BaseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Lambda != 1 || rows[1].Lambda != 4 {
+		t.Fatalf("lambda rows wrong: %+v", rows)
+	}
+	// More aggressive λ must send more remote requests on average.
+	if rows[1].RemoteRequests.Mean <= rows[0].RemoteRequests.Mean {
+		t.Fatalf("λ=4 requests (%v) not above λ=1 (%v)",
+			rows[1].RemoteRequests.Mean, rows[0].RemoteRequests.Mean)
+	}
+}

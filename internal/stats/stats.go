@@ -79,6 +79,46 @@ func (h *Histogram) Stddev() float64 {
 	return math.Sqrt(ss / float64(n))
 }
 
+// SampleStddev returns the Bessel-corrected (n−1) standard deviation, the
+// estimator confidence intervals need (0 with <2 samples).
+func (h *Histogram) SampleStddev() float64 {
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := h.Mean()
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// t975 holds the 0.975 quantile of Student's t distribution for 1..30
+// degrees of freedom; beyond 30 the normal quantile 1.96 is used.
+var t975 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean,
+// using Student's t for small sample counts (0 with <2 samples). The
+// sweep runner reports every aggregated metric as mean ± CI95.
+func (h *Histogram) CI95() float64 {
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	df := n - 1
+	q := 1.96
+	if df <= len(t975) {
+		q = t975[df-1]
+	}
+	return q * h.SampleStddev() / math.Sqrt(float64(n))
+}
+
 // Min returns the smallest sample (0 with no samples).
 func (h *Histogram) Min() float64 {
 	if len(h.samples) == 0 {

@@ -205,3 +205,44 @@ func TestOccupancyIntegralNonNegativeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSampleStddevAndCI95(t *testing.T) {
+	var h Histogram
+	if h.SampleStddev() != 0 || h.CI95() != 0 {
+		t.Fatal("empty histogram should report zero stddev/CI")
+	}
+	h.Add(5)
+	if h.SampleStddev() != 0 || h.CI95() != 0 {
+		t.Fatal("single sample should report zero stddev/CI")
+	}
+	h.Add(7)
+	// n=2: sample sd = √2, CI95 = t(0.975, df=1)·√2/√2 = 12.706.
+	if got := h.SampleStddev(); math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("SampleStddev = %v, want √2", got)
+	}
+	if got := h.CI95(); math.Abs(got-12.706) > 1e-9 {
+		t.Fatalf("CI95 = %v, want 12.706", got)
+	}
+}
+
+func TestCI95LargeSampleUsesNormalQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i % 10))
+	}
+	want := 1.96 * h.SampleStddev() / math.Sqrt(100)
+	if got := h.CI95(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestSampleStddevExceedsPopulationStddev(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Add(v)
+	}
+	if h.SampleStddev() <= h.Stddev() {
+		t.Fatalf("Bessel correction missing: sample %v <= population %v",
+			h.SampleStddev(), h.Stddev())
+	}
+}

@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"repro/internal/exp"
+	"repro/internal/runner"
+)
+
+// Sweep-runner identifiers, re-exported so facade users speak one
+// vocabulary (see internal/exp for the machinery and field docs).
+type (
+	// Sweep declares a scenario matrix (regions × loss × churn × policy).
+	Sweep = exp.Sweep
+	// Scenario is one expanded sweep cell.
+	Scenario = exp.Scenario
+	// SweepOptions set trial count, worker-pool width, and the base seed.
+	SweepOptions = exp.Options
+	// SweepReport is a whole sweep's aggregated, JSON-stable output.
+	SweepReport = exp.Report
+	// SweepCell is one aggregated cell of a report.
+	SweepCell = exp.Cell
+	// MetricSummary is one metric's mean / stddev / 95% CI across trials.
+	MetricSummary = exp.MetricSummary
+	// TrialAggregate is a multi-trial run's full metric reduction.
+	TrialAggregate = exp.Aggregate
+	// PolicySummary is a multi-trial A1 row.
+	PolicySummary = runner.PolicySummary
+	// LambdaSummary is a multi-trial A5 row.
+	LambdaSummary = runner.LambdaSummary
+)
+
+// DefaultSweep returns the standing benchmark matrix (the one
+// BENCH_sweep.json tracks across PRs).
+func DefaultSweep() Sweep { return exp.DefaultSweep() }
+
+// RunSweep expands the sweep and runs every (cell, trial) pair across a
+// bounded worker pool. Aggregates are byte-identical at any Parallel
+// setting: trials parallelize perfectly because each one is a
+// self-contained deterministic simulation.
+func RunSweep(o SweepOptions, sw Sweep) (SweepReport, error) {
+	return runner.RunSweep(o, sw)
+}
+
+// RunScenario runs a single scenario cell once with the given seed and
+// returns its raw metrics (the kernel RunSweep aggregates).
+func RunScenario(sc Scenario, seed uint64) (map[string]float64, error) {
+	return runner.RunScenario(sc, seed)
+}
+
+// AblationPoliciesTrials is the multi-trial variant of AblationPolicies:
+// every column becomes a mean ± 95% CI across o.Trials seeds.
+func AblationPoliciesTrials(o SweepOptions) ([]PolicySummary, error) {
+	return runner.AblationPoliciesTrials(o)
+}
+
+// AblationLambdaTrials is the multi-trial variant of AblationLambda.
+func AblationLambdaTrials(lambdas []float64, runs int, o SweepOptions) ([]LambdaSummary, error) {
+	return runner.AblationLambdaTrials(lambdas, runs, o)
+}
