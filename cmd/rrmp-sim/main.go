@@ -1,23 +1,26 @@
 // Command rrmp-sim runs simulated RRMP scenarios and prints metrics:
-// topology, workload, loss, churn and policy are all flags.
+// topology, workload, loss, churn, crash faults, partitions and policy
+// are all flags.
 //
 // One scenario, one trial (the original mode):
 //
 //	rrmp-sim -regions 100 -msgs 50 -loss 0.2
 //	rrmp-sim -regions 50,50,50 -msgs 20 -loss 0.1 -policy fixed -hold 500ms
 //	rrmp-sim -regions 100 -msgs 10 -loss 0.3 -c 12 -seed 7 -trace
+//	rrmp-sim -regions 100 -loss 0.2 -crash 1 -crash-recover 500ms
+//	rrmp-sim -regions 50,50 -partition-at 1s -partition-for 2s
 //
 // Multi-trial statistics for one scenario (mean / stddev / 95% CI across
 // independently seeded trials, run on a bounded worker pool):
 //
 //	rrmp-sim -regions 100 -loss 0.2 -trials 16 -parallel 8
 //
-// A full scenario sweep (regions × loss × churn × policy matrix; -sweep-*
-// flags override the default matrix), with the JSON report also written to
-// -out for machine tracking:
+// A full scenario sweep (regions × loss × churn × crash × partition ×
+// policy matrix; -sweep-* flags override the default matrix), with the
+// JSON report also written to -out for machine tracking:
 //
 //	rrmp-sim -sweep -trials 8 -parallel 4 -json
-//	rrmp-sim -sweep -sweep-losses 0.1,0.3 -sweep-policies two-phase,all -trials 4
+//	rrmp-sim -sweep -sweep-crashes 0,2 -sweep-partitions 0,1s -trials 4
 //
 // The report is a pure function of (matrix, -trials, -seed): the same
 // seeds produce byte-identical aggregates at any -parallel width.
@@ -40,21 +43,25 @@ import (
 
 func main() {
 	var (
-		regions = flag.String("regions", "100", "comma-separated region sizes (chain hierarchy)")
-		star    = flag.Bool("star", false, "attach all regions directly to the sender's region")
-		msgs    = flag.Int("msgs", 20, "messages to publish")
-		gap     = flag.Duration("gap", 20*time.Millisecond, "inter-message gap")
-		loss    = flag.Float64("loss", 0.2, "independent DATA loss probability")
-		burst   = flag.Bool("burst", false, "use a Gilbert-Elliott burst loss channel instead")
-		churn   = flag.Float64("churn", 0, "graceful leaves per second (Poisson over non-sender members)")
-		c       = flag.Float64("c", 6, "expected long-term bufferers per region (C)")
-		lambda  = flag.Float64("lambda", 1, "expected remote requests per regional loss (lambda)")
-		policy  = flag.String("policy", "two-phase", "buffering policy: two-phase|fixed|all|hash")
-		hold    = flag.Duration("hold", 500*time.Millisecond, "retention for -policy fixed")
-		seed    = flag.Uint64("seed", 1, "root random seed")
-		horizon = flag.Duration("horizon", 5*time.Second, "virtual run time")
-		doTrace = flag.Bool("trace", false, "stream protocol events to stderr (single-trial mode only)")
-		backoff = flag.Duration("backoff", 0, "regional repair multicast back-off window (0 = immediate)")
+		regions      = flag.String("regions", "100", "comma-separated region sizes (chain hierarchy)")
+		star         = flag.Bool("star", false, "attach all regions directly to the sender's region")
+		msgs         = flag.Int("msgs", 20, "messages to publish")
+		gap          = flag.Duration("gap", 20*time.Millisecond, "inter-message gap")
+		loss         = flag.Float64("loss", 0.2, "independent DATA loss probability")
+		burst        = flag.Bool("burst", false, "use a Gilbert-Elliott burst loss channel instead")
+		churn        = flag.Float64("churn", 0, "graceful leaves per second (Poisson over non-sender members)")
+		crash        = flag.Float64("crash", 0, "crash faults per second (Poisson over non-sender members; no handoff)")
+		crashRecover = flag.Duration("crash-recover", 0, "downtime before a crashed member returns (0 = crash-stop)")
+		partitionAt  = flag.Duration("partition-at", 0, "instant to split the group into two halves (0 = never)")
+		partitionFor = flag.Duration("partition-for", 0, "partition duration before the heal event (0 = never heals)")
+		c            = flag.Float64("c", 6, "expected long-term bufferers per region (C)")
+		lambda       = flag.Float64("lambda", 1, "expected remote requests per regional loss (lambda)")
+		policy       = flag.String("policy", "two-phase", "buffering policy: two-phase|fixed|all|hash")
+		hold         = flag.Duration("hold", 500*time.Millisecond, "retention for -policy fixed")
+		seed         = flag.Uint64("seed", 1, "root random seed")
+		horizon      = flag.Duration("horizon", 5*time.Second, "virtual run time")
+		doTrace      = flag.Bool("trace", false, "stream protocol events to stderr (single-trial mode only)")
+		backoff      = flag.Duration("backoff", 0, "regional repair multicast back-off window (0 = immediate)")
 
 		sweep    = flag.Bool("sweep", false, "run the scenario matrix instead of a single scenario")
 		trials   = flag.Int("trials", 1, "independently seeded trials per scenario cell")
@@ -62,10 +69,12 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "print the sweep report as JSON instead of a table")
 		outPath  = flag.String("out", "", "also write the sweep report JSON here (default BENCH_sweep.json for a default-matrix -sweep; empty = don't)")
 
-		swRegions  = flag.String("sweep-regions", "", "region vectors to sweep, e.g. '50;100;50,50' (default 50;100)")
-		swLosses   = flag.String("sweep-losses", "", "loss rates to sweep, e.g. '0.05,0.2' (default 0.05,0.2)")
-		swChurns   = flag.String("sweep-churns", "", "churn rates to sweep, e.g. '0,1' (default 0,1)")
-		swPolicies = flag.String("sweep-policies", "", "policies to sweep, e.g. 'two-phase,fixed' (default two-phase,fixed)")
+		swRegions    = flag.String("sweep-regions", "", "region vectors to sweep, e.g. '50;100;50,50' (default 50;100;30,30)")
+		swLosses     = flag.String("sweep-losses", "", "loss rates to sweep, e.g. '0.05,0.2' (default 0.05,0.2)")
+		swChurns     = flag.String("sweep-churns", "", "churn rates to sweep, e.g. '0,1' (default 0,1)")
+		swCrashes    = flag.String("sweep-crashes", "", "crash rates to sweep, e.g. '0,1' (default 0,1)")
+		swPartitions = flag.String("sweep-partitions", "", "partition durations to sweep, e.g. '0,1s' (default 0,1s; 0 = no partition)")
+		swPolicies   = flag.String("sweep-policies", "", "policies to sweep, e.g. 'two-phase,fixed' (default two-phase,fixed)")
 	)
 	flag.Parse()
 
@@ -81,7 +90,9 @@ func main() {
 			outSet = true
 		case "regions", "star", "burst", "msgs", "gap", "horizon", "hold",
 			"c", "lambda", "backoff", "seed", "churn", "loss", "policy",
-			"sweep-regions", "sweep-losses", "sweep-churns", "sweep-policies":
+			"crash", "crash-recover", "partition-at", "partition-for",
+			"sweep-regions", "sweep-losses", "sweep-churns", "sweep-crashes",
+			"sweep-partitions", "sweep-policies":
 			matrixCustomized = true
 		}
 	})
@@ -99,13 +110,22 @@ func main() {
 			sweep: *sweep, regionsCSV: *regions, star: *star, msgs: *msgs, gap: *gap,
 			loss: *loss, burst: *burst, churn: *churn, c: *c, lambda: *lambda,
 			backoff: *backoff, policy: *policy, hold: *hold,
+			crash: *crash, crashRecover: *crashRecover,
+			partitionAt: *partitionAt, partitionFor: *partitionFor,
 			seed: *seed, horizon: *horizon, trials: *trials, parallel: *parallel,
 			json: *jsonOut, outPath: *outPath,
-			swRegions: *swRegions, swLosses: *swLosses, swChurns: *swChurns, swPolicies: *swPolicies,
+			swRegions: *swRegions, swLosses: *swLosses, swChurns: *swChurns,
+			swCrashes: *swCrashes, swPartitions: *swPartitions, swPolicies: *swPolicies,
 		})
 	} else {
-		err = run(*regions, *star, *msgs, *gap, *loss, *burst, *churn, *c, *lambda,
-			*policy, *hold, *seed, *horizon, *doTrace, *backoff)
+		err = run(singleArgs{
+			regionsCSV: *regions, star: *star, msgs: *msgs, gap: *gap,
+			loss: *loss, burst: *burst, churn: *churn, c: *c, lambda: *lambda,
+			policy: *policy, hold: *hold, seed: *seed, horizon: *horizon,
+			doTrace: *doTrace, backoff: *backoff,
+			crash: *crash, crashRecover: *crashRecover,
+			partitionAt: *partitionAt, partitionFor: *partitionFor,
+		})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrmp-sim:", err)
@@ -139,30 +159,58 @@ func parseFloats(csv string) ([]float64, error) {
 	return out, nil
 }
 
+// parseDurations parses a comma-separated duration list; a bare "0" is
+// allowed (no unit needed for the zero value).
+func parseDurations(csv string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "0" {
+			out = append(out, 0)
+			continue
+		}
+		v, err := time.ParseDuration(f)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", csv, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 type sweepArgs struct {
-	sweep      bool
-	regionsCSV string
-	star       bool
-	msgs       int
-	gap        time.Duration
-	loss       float64
-	burst      bool
-	churn      float64
-	c          float64
-	lambda     float64
-	backoff    time.Duration
-	policy     string
-	hold       time.Duration
-	seed       uint64
-	horizon    time.Duration
-	trials     int
-	parallel   int
-	json       bool
-	outPath    string
-	swRegions  string
-	swLosses   string
-	swChurns   string
-	swPolicies string
+	sweep        bool
+	regionsCSV   string
+	star         bool
+	msgs         int
+	gap          time.Duration
+	loss         float64
+	burst        bool
+	churn        float64
+	crash        float64
+	crashRecover time.Duration
+	partitionAt  time.Duration
+	partitionFor time.Duration
+	c            float64
+	lambda       float64
+	backoff      time.Duration
+	policy       string
+	hold         time.Duration
+	seed         uint64
+	horizon      time.Duration
+	trials       int
+	parallel     int
+	json         bool
+	outPath      string
+	// quiet suppresses stdout reporting (the in-process golden test only
+	// compares the -out files).
+	quiet        bool
+	swRegions    string
+	swLosses     string
+	swChurns     string
+	swCrashes    string
+	swPartitions string
+	swPolicies   string
 }
 
 // runSweep runs either the scenario matrix (-sweep) or a single-cell sweep
@@ -192,6 +240,16 @@ func runSweep(a sweepArgs) error {
 				return err
 			}
 		}
+		if a.swCrashes != "" {
+			if sw.Crashes, err = parseFloats(a.swCrashes); err != nil {
+				return err
+			}
+		}
+		if a.swPartitions != "" {
+			if sw.Partitions, err = parseDurations(a.swPartitions); err != nil {
+				return err
+			}
+		}
 		if a.swPolicies != "" {
 			sw.Policies = nil
 			for _, p := range strings.Split(a.swPolicies, ",") {
@@ -203,11 +261,24 @@ func runSweep(a sweepArgs) error {
 		if err != nil {
 			return err
 		}
+		// Both single-run modes partition only when -partition-at is set
+		// ("0 = never"); the axis encodes "none" as duration 0. An
+		// open-ended partition (-partition-at without -partition-for)
+		// runs to the horizon.
+		pf := time.Duration(0)
+		if a.partitionAt > 0 {
+			pf = a.partitionFor
+			if pf <= 0 {
+				pf = a.horizon
+			}
+		}
 		sw = repro.Sweep{
-			Regions:  [][]int{sizes},
-			Losses:   []float64{a.loss},
-			Churns:   []float64{a.churn},
-			Policies: []string{a.policy},
+			Regions:    [][]int{sizes},
+			Losses:     []float64{a.loss},
+			Churns:     []float64{a.churn},
+			Crashes:    []float64{a.crash},
+			Partitions: []time.Duration{pf},
+			Policies:   []string{a.policy},
 		}
 	}
 	sw.Star = a.star
@@ -216,6 +287,8 @@ func runSweep(a sweepArgs) error {
 	sw.C = a.c
 	sw.Lambda = a.lambda
 	sw.RepairBackoff = a.backoff
+	sw.CrashRecover = a.crashRecover
+	sw.PartitionAt = a.partitionAt
 	sw.Msgs = a.msgs
 	sw.Gap = a.gap
 	sw.Horizon = a.horizon
@@ -234,9 +307,11 @@ func runSweep(a sweepArgs) error {
 		return err
 	}
 	blob = append(blob, '\n')
-	if a.json {
+	switch {
+	case a.quiet:
+	case a.json:
 		os.Stdout.Write(blob)
-	} else {
+	default:
 		printReport(rep)
 	}
 	if a.outPath != "" {
@@ -285,31 +360,56 @@ func meanOnly(agg repro.TrialAggregate, name, verb string) string {
 	return fmt.Sprintf(verb, m.Mean)
 }
 
-func run(regionsCSV string, star bool, msgs int, gap time.Duration, loss float64,
-	burst bool, churn float64, c, lambda float64, policyName string, hold time.Duration,
-	seed uint64, horizon time.Duration, doTrace bool, backoff time.Duration) error {
+// singleArgs are the single-scenario, single-trial mode's inputs.
+type singleArgs struct {
+	regionsCSV   string
+	star         bool
+	msgs         int
+	gap          time.Duration
+	loss         float64
+	burst        bool
+	churn        float64
+	crash        float64
+	crashRecover time.Duration
+	partitionAt  time.Duration
+	partitionFor time.Duration
+	c            float64
+	lambda       float64
+	policy       string
+	hold         time.Duration
+	seed         uint64
+	horizon      time.Duration
+	doTrace      bool
+	backoff      time.Duration
+}
 
-	sizes, err := parseSizes(regionsCSV)
+func run(a singleArgs) error {
+	sizes, err := parseSizes(a.regionsCSV)
 	if err != nil {
 		return err
 	}
+	msgs, gap, loss, seed, horizon := a.msgs, a.gap, a.loss, a.seed, a.horizon
+	churn, policyName := a.churn, a.policy
 
 	params := repro.DefaultParams()
-	params.C = c
-	params.Lambda = lambda
-	params.RepairBackoffMax = backoff
+	params.C = a.c
+	params.Lambda = a.lambda
+	params.RepairBackoffMax = a.backoff
+	// Fault scenarios need the failure detector so recovery routes around
+	// dead members (same rule the sweep runner applies).
+	params.FDEnabled = a.crash > 0 || a.partitionAt > 0
 
 	opts := []repro.Option{
 		repro.WithSeed(seed),
 		repro.WithParams(params),
 	}
-	if star {
+	if a.star {
 		opts = append(opts, repro.WithStar(sizes...))
 	} else {
 		opts = append(opts, repro.WithRegions(sizes...))
 	}
 	if loss > 0 {
-		if burst {
+		if a.burst {
 			opts = append(opts, repro.WithBurstDataLoss(loss))
 		} else {
 			opts = append(opts, repro.WithDataLoss(loss))
@@ -319,7 +419,7 @@ func run(regionsCSV string, star bool, msgs int, gap time.Duration, loss float64
 	case "two-phase":
 		opts = append(opts, repro.WithPolicy(repro.PolicyTwoPhase))
 	case "fixed":
-		opts = append(opts, repro.WithPolicy(repro.PolicyFixedHold), repro.WithFixedHold(hold))
+		opts = append(opts, repro.WithPolicy(repro.PolicyFixedHold), repro.WithFixedHold(a.hold))
 	case "all":
 		opts = append(opts, repro.WithPolicy(repro.PolicyBufferAll))
 	case "hash":
@@ -327,7 +427,7 @@ func run(regionsCSV string, star bool, msgs int, gap time.Duration, loss float64
 	default:
 		return fmt.Errorf("unknown policy %q", policyName)
 	}
-	if doTrace {
+	if a.doTrace {
 		opts = append(opts, repro.WithTracer(&trace.Writer{W: os.Stderr}))
 	}
 
@@ -342,30 +442,75 @@ func run(regionsCSV string, star bool, msgs int, gap time.Duration, loss float64
 		g.At(time.Duration(i)*gap, func() { ids = append(ids, g.Publish(make([]byte, 256))) })
 	}
 
-	// Churn: schedule Poisson-timed graceful leaves of distinct random
+	// Churn and crashes: Poisson-timed schedules of distinct random
 	// non-sender members (the sweep runner's construction, shared so both
-	// modes produce the identical leave sequence for a seed).
-	leaves := 0
-	if churn > 0 {
-		var candidates []repro.NodeID
+	// modes produce the identical fault sequence for a seed).
+	var candidates []repro.NodeID
+	if churn > 0 || a.crash > 0 {
 		for n := repro.NodeID(0); n < repro.NodeID(g.NumMembers()); n++ {
 			if n != g.SenderID() {
 				candidates = append(candidates, n)
 			}
 		}
-		leaves = runner.ScheduleChurn(rng.New(seed).Split(runner.ChurnStreamLabel),
+	}
+	// Counted at execution time: a member drawn by both streams only has
+	// its first fault injected (the runner counts the same way).
+	leaves, crashes := 0, 0
+	if churn > 0 {
+		runner.ScheduleChurn(rng.New(seed).Split(runner.ChurnStreamLabel),
 			churn, horizon, candidates, func(at time.Duration, victim repro.NodeID) {
-				g.At(at, func() { g.Leave(victim) })
+				g.At(at, func() {
+					if m := g.Member(victim); m.Left() || m.Crashed() {
+						return
+					}
+					g.Leave(victim)
+					leaves++
+				})
 			})
+	}
+	if a.crash > 0 {
+		runner.ScheduleChurn(rng.New(seed).Split(runner.CrashStreamLabel),
+			a.crash, horizon, candidates, func(at time.Duration, victim repro.NodeID) {
+				g.At(at, func() {
+					if m := g.Member(victim); m.Left() || m.Crashed() {
+						return
+					}
+					g.Crash(victim)
+					crashes++
+				})
+				if a.crashRecover > 0 {
+					g.At(at+a.crashRecover, func() { g.Recover(victim) })
+				}
+			})
+	}
+	if a.partitionAt > 0 {
+		g.At(a.partitionAt, g.Partition)
+		if a.partitionFor > 0 {
+			g.At(a.partitionAt+a.partitionFor, g.Heal)
+		}
 	}
 
 	g.Run(horizon)
 
 	fmt.Printf("topology: %d members in %d regions (seed %d)\n", g.NumMembers(), g.NumRegions(), seed)
 	fmt.Printf("workload: %d messages every %v, %.0f%% DATA loss (burst=%v), policy %s\n",
-		msgs, gap, 100*loss, burst, policyName)
+		msgs, gap, 100*loss, a.burst, policyName)
 	if churn > 0 {
 		fmt.Printf("churn:    %.2g leaves/s — %d members departed gracefully\n", churn, leaves)
+	}
+	if a.crash > 0 {
+		mode := "crash-stop"
+		if a.crashRecover > 0 {
+			mode = fmt.Sprintf("recover after %v", a.crashRecover)
+		}
+		fmt.Printf("crashes:  %.2g faults/s (%s) — %d members crashed\n", a.crash, mode, crashes)
+	}
+	if a.partitionAt > 0 {
+		heal := "never healed"
+		if a.partitionFor > 0 {
+			heal = fmt.Sprintf("healed at %v", a.partitionAt+a.partitionFor)
+		}
+		fmt.Printf("partition: cut at %v, %s\n", a.partitionAt, heal)
 	}
 	fmt.Printf("virtual time: %v\n\n", g.Now())
 
@@ -386,8 +531,15 @@ func run(regionsCSV string, star bool, msgs int, gap time.Duration, loss float64
 	s := g.Stats()
 	fmt.Printf("recovery: %d local requests, %d remote requests, %d repairs, %d regional multicasts\n",
 		s.LocalRequests, s.RemoteRequests, s.Repairs, s.RegionalMulticasts)
+	if s.Searches > 0 || s.Suspects > 0 || s.Unrecoverable > 0 {
+		fmt.Printf("faults:   %d searches (%d failed), %d suspect events, %d unrecoverable losses\n",
+			s.Searches, s.SearchFailures, s.Suspects, s.Unrecoverable)
+	}
 	fmt.Printf("latency:  mean recovery %.1f ms, mean buffering %.1f ms\n",
 		s.MeanRecoveryMs, s.MeanBufferingMs)
+	if s.MeanReRecoveryMs > 0 {
+		fmt.Printf("          mean post-crash re-recovery %.1f ms\n", s.MeanReRecoveryMs)
+	}
 	fmt.Printf("buffers:  %d entries live (%d long-term); %.1f msg·s total buffering cost\n",
 		s.BufferedEntries, s.LongTermEntries, s.BufferIntegral)
 	fmt.Printf("network:  %d packets, %d bytes offered\n", g.TotalPacketsSent(), g.TotalBytesSent())

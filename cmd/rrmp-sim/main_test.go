@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestSweepReportByteIdenticalAcrossParallelism runs the full -sweep code
+// path in-process (small topologies, the default fault axes, 2 trials)
+// and asserts the rrmp-sweep/v1 JSON report written to -out is
+// byte-identical at -parallel 1 and -parallel 4 — the determinism
+// contract the committed BENCH_sweep.json depends on — including the new
+// crash and partition cells.
+func TestSweepReportByteIdenticalAcrossParallelism(t *testing.T) {
+	dir := t.TempDir()
+	report := func(parallel int) []byte {
+		t.Helper()
+		out := filepath.Join(dir, "sweep.json")
+		err := runSweep(sweepArgs{
+			sweep:     true,
+			swRegions: "8;6,6", // shrink topologies; keep every default axis
+			trials:    2,
+			parallel:  parallel,
+			seed:      1,
+			outPath:   out,
+			quiet:     true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	serial := report(1)
+	wide := report(4)
+	if !bytes.Equal(serial, wide) {
+		t.Fatal("sweep report bytes differ between -parallel 1 and -parallel 4")
+	}
+
+	var rep repro.SweepReport
+	if err := json.Unmarshal(serial, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != "rrmp-sweep/v1" {
+		t.Fatalf("schema %q, want rrmp-sweep/v1", rep.Schema)
+	}
+	if rep.Trials != 2 {
+		t.Fatalf("trials %d, want 2", rep.Trials)
+	}
+
+	crashCells, partCells := 0, 0
+	for _, cell := range rep.Cells {
+		if cell.Scenario.Crash > 0 {
+			crashCells++
+			if !strings.Contains(cell.Name, "crash=") {
+				t.Fatalf("crash cell %q lacks a crash token", cell.Name)
+			}
+			if _, ok := cell.Aggregate.Metric("crashes"); !ok {
+				t.Fatalf("crash cell %q reports no crashes metric", cell.Name)
+			}
+			if _, ok := cell.Aggregate.Metric("unrecoverable"); !ok {
+				t.Fatalf("crash cell %q reports no unrecoverable metric", cell.Name)
+			}
+		}
+		if cell.Scenario.PartitionAt > 0 {
+			partCells++
+			if !strings.Contains(cell.Name, "part=") {
+				t.Fatalf("partition cell %q lacks a part token", cell.Name)
+			}
+		}
+	}
+	if crashCells == 0 || partCells == 0 {
+		t.Fatalf("default matrix has %d crash and %d partition cells; want both > 0",
+			crashCells, partCells)
+	}
+}
+
+// TestSingleRunWithFaults drives the single-scenario mode end to end with
+// crash and partition flags (cmd/ previously had zero test files; this
+// covers the non-sweep path too).
+func TestSingleRunWithFaults(t *testing.T) {
+	err := run(singleArgs{
+		regionsCSV:   "10,10",
+		msgs:         5,
+		gap:          20e6, // 20 ms
+		loss:         0.2,
+		crash:        1,
+		crashRecover: 500e6, // 500 ms
+		partitionAt:  400e6,
+		partitionFor: 300e6,
+		c:            4,
+		lambda:       1,
+		policy:       "two-phase",
+		seed:         3,
+		horizon:      3e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseDurations covers the sweep-partitions axis parser.
+func TestParseDurations(t *testing.T) {
+	got, err := parseDurations("0, 1s,250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1e9 || got[2] != 250e6 {
+		t.Fatalf("parseDurations = %v", got)
+	}
+	if _, err := parseDurations("1s,bogus"); err == nil {
+		t.Fatal("bogus duration accepted")
+	}
+}

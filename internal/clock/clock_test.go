@@ -1,0 +1,145 @@
+// Package clock_test pins down the Scheduler/Timer contract that every
+// protocol component is written against. The contract is exercised
+// through the simulator binding (internal/sim), the implementation all
+// deterministic experiments run on; the tests only touch it through the
+// clock interfaces, so they document what any future binding must honor.
+package clock_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/sim"
+)
+
+// newSched returns the scheduler under test, typed as the interface so
+// the tests cannot reach past the contract.
+func newSched() (clock.Scheduler, *sim.Sim) {
+	s := sim.New()
+	return s, s
+}
+
+func TestTimersFireInTimeOrder(t *testing.T) {
+	sched, s := newSched()
+	var order []int
+	sched.After(30*time.Millisecond, func() { order = append(order, 3) })
+	sched.After(10*time.Millisecond, func() { order = append(order, 1) })
+	sched.After(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired in order %v, want [1 2 3]", order)
+	}
+}
+
+func TestNowAdvancesToTimerDeadline(t *testing.T) {
+	sched, s := newSched()
+	var at time.Duration = -1
+	sched.After(7*time.Millisecond, func() { at = sched.Now() })
+	s.Run()
+	if at != 7*time.Millisecond {
+		t.Fatalf("callback saw Now()=%v, want 7ms", at)
+	}
+	if sched.Now() != 7*time.Millisecond {
+		t.Fatalf("Now()=%v after run, want 7ms", sched.Now())
+	}
+}
+
+// Same-tick determinism: timers scheduled for the same instant fire in
+// scheduling order, every run. Protocol code relies on this (for example
+// a Crash event scheduled after a Publish event at the same virtual time
+// must observe the publish).
+func TestSameTickFiresInSchedulingOrder(t *testing.T) {
+	for run := 0; run < 5; run++ {
+		sched, s := newSched()
+		var order []int
+		for i := 0; i < 8; i++ {
+			i := i
+			sched.After(5*time.Millisecond, func() { order = append(order, i) })
+		}
+		s.Run()
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("run %d: same-tick order %v, want ascending", run, order)
+			}
+		}
+	}
+}
+
+func TestStopCancelsBeforeFiring(t *testing.T) {
+	sched, s := newSched()
+	fired := false
+	tm := sched.After(10*time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired anyway")
+	}
+}
+
+func TestStopAfterFiringReturnsFalse(t *testing.T) {
+	sched, s := newSched()
+	tm := sched.After(time.Millisecond, func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
+// A timer stopped from inside an earlier same-tick callback must not run:
+// this is exactly the suppression pattern the protocol uses (a repair
+// arriving cancels the pending regional multicast scheduled for the same
+// instant or later).
+func TestStopFromEarlierCallbackSuppresses(t *testing.T) {
+	sched, s := newSched()
+	fired := false
+	var victim clock.Timer
+	sched.After(time.Millisecond, func() {
+		if !victim.Stop() {
+			t.Error("in-callback Stop returned false for a pending timer")
+		}
+	})
+	victim = sched.After(time.Millisecond, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Fatal("timer fired after being stopped by a same-tick callback")
+	}
+}
+
+// Non-positive delays still go through the queue: the callback runs after
+// the currently scheduled work, never synchronously inside After.
+func TestZeroDelayIsAsynchronous(t *testing.T) {
+	sched, s := newSched()
+	ran := false
+	sched.After(0, func() { ran = true })
+	if ran {
+		t.Fatal("zero-delay callback ran synchronously inside After")
+	}
+	sched.After(-time.Second, func() {})
+	s.Run()
+	if !ran {
+		t.Fatal("zero-delay callback never ran")
+	}
+	if sched.Now() != 0 {
+		t.Fatalf("negative delay advanced the clock to %v", sched.Now())
+	}
+}
+
+// Timers scheduled from inside a callback run at their correct time
+// relative to the firing instant.
+func TestNestedSchedulingKeepsRelativeTime(t *testing.T) {
+	sched, s := newSched()
+	var at time.Duration
+	sched.After(10*time.Millisecond, func() {
+		sched.After(5*time.Millisecond, func() { at = sched.Now() })
+	})
+	s.Run()
+	if at != 15*time.Millisecond {
+		t.Fatalf("nested timer fired at %v, want 15ms", at)
+	}
+}

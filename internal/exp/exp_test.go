@@ -258,3 +258,77 @@ func TestRunSweepErrorNamesCell(t *testing.T) {
 		t.Fatalf("error should name the failing cell: %v", err)
 	}
 }
+
+func TestSweepExpansionFaultAxes(t *testing.T) {
+	sw := Sweep{
+		Regions:      [][]int{{10}},
+		Crashes:      []float64{0, 2},
+		CrashRecover: time.Second,
+		Partitions:   []time.Duration{0, 500 * time.Millisecond},
+		PartitionAt:  2 * time.Second,
+	}
+	cells := sw.Expand()
+	if len(cells) != 4 {
+		t.Fatalf("expanded to %d cells, want 4 (2 crash × 2 partition)", len(cells))
+	}
+	for _, sc := range cells {
+		if sc.Crash > 0 {
+			if sc.CrashRecover != time.Second {
+				t.Fatalf("crash cell %q lost CrashRecover", sc.Name())
+			}
+			if !strings.Contains(sc.Name(), "crash=2/1s") {
+				t.Fatalf("crash cell name %q lacks crash token", sc.Name())
+			}
+		} else if sc.CrashRecover != 0 {
+			t.Fatalf("crash-free cell %q carries CrashRecover", sc.Name())
+		}
+		if sc.PartitionDur > 0 {
+			if sc.PartitionAt != 2*time.Second {
+				t.Fatalf("partition cell %q PartitionAt=%v, want 2s", sc.Name(), sc.PartitionAt)
+			}
+			if !strings.Contains(sc.Name(), "part=2s/500ms") {
+				t.Fatalf("partition cell name %q lacks part token", sc.Name())
+			}
+		} else if sc.PartitionAt != 0 {
+			t.Fatalf("partition-free cell %q carries PartitionAt", sc.Name())
+		}
+	}
+}
+
+// Names of fault-free cells must not change when fault axes appear: the
+// BENCH history relies on stable cell identities.
+func TestScenarioNameStableWithoutFaults(t *testing.T) {
+	sc := Scenario{Regions: []int{50}, Loss: 0.05, Churn: 0, Policy: "two-phase"}
+	if got, want := sc.Name(), "regions=50 loss=0.05 churn=0 policy=two-phase"; got != want {
+		t.Fatalf("Name() = %q, want %q", got, want)
+	}
+}
+
+func TestScenarioNameFaultTokens(t *testing.T) {
+	sc := Scenario{Regions: []int{30, 30}, Loss: 0.2, Churn: 1, Crash: 1,
+		PartitionAt: 1250 * time.Millisecond, PartitionDur: time.Second, Policy: "fixed"}
+	want := "regions=30+30 loss=0.20 churn=1 crash=1 part=1.25s/1s policy=fixed"
+	if got := sc.Name(); got != want {
+		t.Fatalf("Name() = %q, want %q", got, want)
+	}
+	sc.PartitionDur = 0
+	if got := sc.Name(); !strings.Contains(got, "part=1.25s/open") {
+		t.Fatalf("open partition name %q lacks /open token", got)
+	}
+}
+
+func TestDefaultSweepHasFaultAxes(t *testing.T) {
+	sw := DefaultSweep()
+	if len(sw.Crashes) < 2 || len(sw.Partitions) < 2 {
+		t.Fatalf("default sweep lacks fault axes: crashes=%v partitions=%v", sw.Crashes, sw.Partitions)
+	}
+	multi := false
+	for _, r := range sw.Regions {
+		if len(r) > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Fatal("default sweep has no multi-region vector for region-granular partitions")
+	}
+}

@@ -22,6 +22,24 @@ type Scenario struct {
 	// Churn is the expected number of graceful leaves per second, drawn as
 	// a Poisson process over non-sender members (§3.2's handoff path).
 	Churn float64 `json:"churn"`
+	// Crash is the expected number of crash faults per second, drawn as an
+	// independent Poisson process over non-sender members. Crashed members
+	// stop without handoff and their traffic vanishes, forcing §3.3's
+	// search path (and the failure detector) to carry recovery.
+	Crash float64 `json:"crash,omitempty"`
+	// CrashRecover, when positive, brings each crashed member back after
+	// this downtime with its protocol state intact; it then re-recovers
+	// every gap it missed. Zero means crash-stop: the member never returns.
+	CrashRecover time.Duration `json:"crash_recover_ns,omitempty"`
+	// PartitionAt, when positive, splits the group into two halves at that
+	// instant (along region boundaries when there are multiple regions;
+	// otherwise down the middle of the member list) and drops every packet
+	// crossing the cut.
+	PartitionAt time.Duration `json:"partition_at_ns,omitempty"`
+	// PartitionDur is how long the partition lasts before a deterministic
+	// heal event reconnects the halves. Zero with PartitionAt set means
+	// the partition never heals within the run.
+	PartitionDur time.Duration `json:"partition_dur_ns,omitempty"`
 	// Policy is the buffering policy: two-phase|fixed|all|hash.
 	Policy string `json:"policy"`
 	// FixedHold is the retention for Policy "fixed" (default 500 ms).
@@ -47,8 +65,24 @@ func (s Scenario) Name() string {
 	if s.Star {
 		shape = "star:"
 	}
-	return fmt.Sprintf("regions=%s%s loss=%.2f churn=%.2g policy=%s",
-		shape, strings.Join(sizes, "+"), s.Loss, s.Churn, s.Policy)
+	name := fmt.Sprintf("regions=%s%s loss=%.2f churn=%.2g",
+		shape, strings.Join(sizes, "+"), s.Loss, s.Churn)
+	// Fault tokens appear only when the fault is present, so cells from
+	// crash-free sweeps keep their historical names.
+	if s.Crash > 0 {
+		name += fmt.Sprintf(" crash=%.2g", s.Crash)
+		if s.CrashRecover > 0 {
+			name += fmt.Sprintf("/%v", s.CrashRecover)
+		}
+	}
+	if s.PartitionAt > 0 {
+		if s.PartitionDur > 0 {
+			name += fmt.Sprintf(" part=%v/%v", s.PartitionAt, s.PartitionDur)
+		} else {
+			name += fmt.Sprintf(" part=%v/open", s.PartitionAt)
+		}
+	}
+	return name + " policy=" + s.Policy
 }
 
 // Sweep declares a scenario matrix. Expand takes the cartesian product of
@@ -66,6 +100,17 @@ type Sweep struct {
 	Burst bool `json:"burst,omitempty"`
 	// Churns lists graceful-leave rates in members/second (default [0]).
 	Churns []float64 `json:"churns,omitempty"`
+	// Crashes lists crash-fault rates in members/second (default [0]).
+	Crashes []float64 `json:"crashes,omitempty"`
+	// CrashRecover applies to every crash cell: downtime before a crashed
+	// member returns (0 = crash-stop, the default threat model).
+	CrashRecover time.Duration `json:"crash_recover_ns,omitempty"`
+	// Partitions lists partition episode durations (default [0] = none).
+	// A cell with duration d > 0 partitions at PartitionAt and heals d
+	// later.
+	Partitions []time.Duration `json:"partitions_ns,omitempty"`
+	// PartitionAt is when partition episodes begin (default Horizon/4).
+	PartitionAt time.Duration `json:"partition_at_ns,omitempty"`
 	// Policies lists buffering policies (default ["two-phase"]).
 	Policies []string `json:"policies,omitempty"`
 	// FixedHold is the retention used by "fixed" cells (default 500 ms).
@@ -83,14 +128,18 @@ type Sweep struct {
 }
 
 // DefaultSweep returns the standing benchmark matrix rrmp-sim runs when no
-// dimensions are given: 2 topologies × 2 loss rates × 2 churn rates × 2
-// policies. BENCH_sweep.json tracks this matrix across PRs.
+// dimensions are given: 3 topologies × 2 loss rates × 2 churn rates × 2
+// crash rates × 2 partition settings × 2 policies. The two-region vector
+// exists so partition cells cut along a region boundary. BENCH_sweep.json
+// tracks this matrix across PRs.
 func DefaultSweep() Sweep {
 	return Sweep{
-		Regions:  [][]int{{50}, {100}},
-		Losses:   []float64{0.05, 0.20},
-		Churns:   []float64{0, 1},
-		Policies: []string{"two-phase", "fixed"},
+		Regions:    [][]int{{50}, {100}, {30, 30}},
+		Losses:     []float64{0.05, 0.20},
+		Churns:     []float64{0, 1},
+		Crashes:    []float64{0, 1},
+		Partitions: []time.Duration{0, time.Second},
+		Policies:   []string{"two-phase", "fixed"},
 	}
 }
 
@@ -109,6 +158,14 @@ func (sw Sweep) Expand() []Scenario {
 	churns := sw.Churns
 	if len(churns) == 0 {
 		churns = []float64{0}
+	}
+	crashes := sw.Crashes
+	if len(crashes) == 0 {
+		crashes = []float64{0}
+	}
+	partitions := sw.Partitions
+	if len(partitions) == 0 {
+		partitions = []time.Duration{0}
 	}
 	policies := sw.Policies
 	if len(policies) == 0 {
@@ -131,26 +188,45 @@ func (sw Sweep) Expand() []Scenario {
 		hold = 500 * time.Millisecond
 	}
 
-	out := make([]Scenario, 0, len(regions)*len(losses)*len(churns)*len(policies))
+	partAt := sw.PartitionAt
+	if partAt <= 0 {
+		partAt = horizon / 4
+	}
+
+	out := make([]Scenario, 0,
+		len(regions)*len(losses)*len(churns)*len(crashes)*len(partitions)*len(policies))
 	for _, r := range regions {
 		for _, l := range losses {
 			for _, ch := range churns {
-				for _, p := range policies {
-					out = append(out, Scenario{
-						Regions:       append([]int(nil), r...),
-						Star:          sw.Star,
-						Loss:          l,
-						Burst:         sw.Burst,
-						Churn:         ch,
-						Policy:        p,
-						FixedHold:     hold,
-						C:             sw.C,
-						Lambda:        sw.Lambda,
-						RepairBackoff: sw.RepairBackoff,
-						Msgs:          msgs,
-						Gap:           gap,
-						Horizon:       horizon,
-					})
+				for _, cr := range crashes {
+					for _, pd := range partitions {
+						for _, p := range policies {
+							sc := Scenario{
+								Regions:       append([]int(nil), r...),
+								Star:          sw.Star,
+								Loss:          l,
+								Burst:         sw.Burst,
+								Churn:         ch,
+								Crash:         cr,
+								Policy:        p,
+								FixedHold:     hold,
+								C:             sw.C,
+								Lambda:        sw.Lambda,
+								RepairBackoff: sw.RepairBackoff,
+								Msgs:          msgs,
+								Gap:           gap,
+								Horizon:       horizon,
+							}
+							if cr > 0 {
+								sc.CrashRecover = sw.CrashRecover
+							}
+							if pd > 0 {
+								sc.PartitionAt = partAt
+								sc.PartitionDur = pd
+							}
+							out = append(out, sc)
+						}
+					}
 				}
 			}
 		}

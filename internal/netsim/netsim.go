@@ -51,6 +51,10 @@ type Network struct {
 	handlers map[topology.NodeID]Handler
 	stats    Stats
 	down     map[topology.NodeID]bool
+	// partition assigns each node a partition class; packets between
+	// different classes vanish. nil means fully connected. Nodes absent
+	// from a non-nil map are class 0.
+	partition map[topology.NodeID]int
 }
 
 // Stats aggregates traffic accounting per message type.
@@ -59,6 +63,10 @@ type Stats struct {
 	Delivered map[wire.Type]*stats.Counter
 	Dropped   map[wire.Type]*stats.Counter
 	Bytes     map[wire.Type]*stats.Counter
+	// Partitioned counts packets (all types) that vanished because their
+	// endpoints were in different partition classes; each is also counted
+	// in Dropped under its type.
+	Partitioned stats.Counter
 }
 
 func newStats() Stats {
@@ -97,6 +105,9 @@ func (s *Stats) DroppedCount(t wire.Type) int64 { return value(s.Dropped, t) }
 
 // BytesSent returns the bytes offered for transmission of type t.
 func (s *Stats) BytesSent(t wire.Type) int64 { return value(s.Bytes, t) }
+
+// PartitionDrops returns packets dropped by the partition cut.
+func (s *Stats) PartitionDrops() int64 { return s.Partitioned.Value() }
 
 // TotalSent returns packets offered across all types.
 func (s *Stats) TotalSent() int64 {
@@ -157,6 +168,36 @@ func (n *Network) SetDown(node topology.NodeID, down bool) {
 // IsDown reports whether the node is marked crashed.
 func (n *Network) IsDown(node topology.NodeID) bool { return n.down[node] }
 
+// SetPartition installs a network partition: every node is assigned the
+// class class[node] (absent nodes are class 0) and packets whose endpoints
+// lie in different classes are dropped, including packets already in
+// flight when the partition begins. The map is copied. Partition and heal
+// instants are ordinary scheduler events, so fault timelines are exactly
+// as deterministic as the rest of the simulation.
+func (n *Network) SetPartition(class map[topology.NodeID]int) {
+	if len(class) == 0 {
+		n.partition = nil
+		return
+	}
+	cp := make(map[topology.NodeID]int, len(class))
+	for k, v := range class {
+		cp[k] = v
+	}
+	n.partition = cp
+}
+
+// ClearPartition heals the partition: all nodes are reconnected.
+func (n *Network) ClearPartition() { n.partition = nil }
+
+// Partitioned reports whether a and b are currently in different
+// partition classes.
+func (n *Network) Partitioned(a, b topology.NodeID) bool {
+	if n.partition == nil {
+		return false
+	}
+	return n.partition[a] != n.partition[b]
+}
+
 // Stats returns the traffic counters (live view).
 func (n *Network) Stats() *Stats { return &n.stats }
 
@@ -165,14 +206,25 @@ func (n *Network) Unicast(from, to topology.NodeID, msg wire.Message) {
 	size := msg.EncodedSize()
 	bump(n.stats.Sent, msg.Type, 1)
 	bump(n.stats.Bytes, msg.Type, int64(size))
+	if n.Partitioned(from, to) {
+		n.stats.Partitioned.Inc()
+		bump(n.stats.Dropped, msg.Type, 1)
+		return
+	}
 	if n.down[from] || n.down[to] || n.loss.Drop(from, to, msg.Type) {
 		bump(n.stats.Dropped, msg.Type, 1)
 		return
 	}
 	d := n.latency.OneWay(from, to)
 	n.sched.After(d, func() {
-		// Re-check liveness at delivery time: the node may have crashed
-		// while the packet was in flight.
+		// Re-check liveness and connectivity at delivery time: the node
+		// may have crashed, or a partition may have cut the path, while
+		// the packet was in flight.
+		if n.Partitioned(from, to) {
+			n.stats.Partitioned.Inc()
+			bump(n.stats.Dropped, msg.Type, 1)
+			return
+		}
 		if n.down[to] {
 			bump(n.stats.Dropped, msg.Type, 1)
 			return

@@ -248,3 +248,85 @@ func TestRegisterNilPanics(t *testing.T) {
 	}()
 	New(sim.New(), UniformLatency{}, nil).Register(0, nil)
 }
+
+func TestPartitionCutsCrossClassTraffic(t *testing.T) {
+	s := sim.New()
+	n := New(s, UniformLatency{Delay: time.Millisecond}, nil)
+	delivered := map[topology.NodeID]int{}
+	for id := topology.NodeID(0); id <= 3; id++ {
+		id := id
+		n.Register(id, func(Packet) { delivered[id]++ })
+	}
+	n.SetPartition(map[topology.NodeID]int{2: 1, 3: 1}) // {0,1} vs {2,3}
+
+	n.Unicast(0, 1, testMsg(wire.TypeData)) // same side: delivered
+	n.Unicast(0, 2, testMsg(wire.TypeData)) // crosses the cut: dropped
+	n.Unicast(3, 2, testMsg(wire.TypeData)) // same side: delivered
+	n.Unicast(2, 1, testMsg(wire.TypeData)) // crosses the other way: dropped
+	s.Run()
+
+	if delivered[1] != 1 || delivered[2] != 1 {
+		t.Fatalf("deliveries %v, want one each for 1 and 2", delivered)
+	}
+	if got := n.Stats().PartitionDrops(); got != 2 {
+		t.Fatalf("partition drops %d, want 2", got)
+	}
+	if got := n.Stats().DroppedCount(wire.TypeData); got != 2 {
+		t.Fatalf("dropped count %d, want 2", got)
+	}
+}
+
+func TestPartitionDropsInFlightPackets(t *testing.T) {
+	s := sim.New()
+	n := New(s, UniformLatency{Delay: 10 * time.Millisecond}, nil)
+	got := 0
+	n.Register(1, func(Packet) { got++ })
+	n.Unicast(0, 1, testMsg(wire.TypeData))
+	// The partition begins while the packet is in flight: the link goes
+	// down underneath it, so it must not arrive.
+	s.After(5*time.Millisecond, func() {
+		n.SetPartition(map[topology.NodeID]int{1: 1})
+	})
+	s.Run()
+	if got != 0 {
+		t.Fatal("packet crossed a cut that formed while it was in flight")
+	}
+	if n.Stats().PartitionDrops() != 1 {
+		t.Fatalf("partition drops %d, want 1", n.Stats().PartitionDrops())
+	}
+}
+
+func TestPartitionHealRestoresDelivery(t *testing.T) {
+	s := sim.New()
+	n := New(s, UniformLatency{Delay: time.Millisecond}, nil)
+	got := 0
+	n.Register(1, func(Packet) { got++ })
+	n.SetPartition(map[topology.NodeID]int{1: 1})
+	n.Unicast(0, 1, testMsg(wire.TypeData))
+	s.After(5*time.Millisecond, func() {
+		n.ClearPartition()
+		n.Unicast(0, 1, testMsg(wire.TypeData))
+	})
+	s.Run()
+	if got != 1 {
+		t.Fatalf("delivered %d, want exactly the post-heal packet", got)
+	}
+	if n.Partitioned(0, 1) {
+		t.Fatal("still partitioned after heal")
+	}
+}
+
+func TestSetPartitionCopiesTheMap(t *testing.T) {
+	s := sim.New()
+	n := New(s, UniformLatency{}, nil)
+	class := map[topology.NodeID]int{1: 1}
+	n.SetPartition(class)
+	class[1] = 0 // caller mutation must not leak into the network
+	if !n.Partitioned(0, 1) {
+		t.Fatal("partition state aliased the caller's map")
+	}
+	n.SetPartition(nil)
+	if n.Partitioned(0, 1) {
+		t.Fatal("SetPartition(nil) should clear the partition")
+	}
+}

@@ -67,8 +67,24 @@ type Metrics struct {
 	LocalGiveUps  stats.Counter
 	RemoteGiveUps stats.Counter
 
+	// Suspects / Restores count failure-detector suspicion transitions
+	// observed by this member (FDEnabled only).
+	Suspects stats.Counter
+	Restores stats.Counter
+	// Unrecoverable counts loss-recovery episodes abandoned after every
+	// recovery phase exhausted its retry budget — the explicit "this
+	// message is lost" signal crash faults can produce. A late delivery
+	// (e.g. a repair multicast by a peer that kept trying) decrements it
+	// again, so at quiescence the counter equals the messages this member
+	// still lacks and no longer pursues; nothing is ever silently lost.
+	Unrecoverable stats.Counter
+
 	// RecoveryLatency records detect→recover times in milliseconds.
 	RecoveryLatency stats.Histogram
+	// ReRecoveryLatency records detect→recover times for recoveries
+	// re-initiated by Member.Recover after a crash outage: the time to
+	// close each gap the member rediscovered when it came back.
+	ReRecoveryLatency stats.Histogram
 	// BufferingTime records store→evict times in milliseconds (all
 	// eviction reasons except handoff).
 	BufferingTime stats.Histogram

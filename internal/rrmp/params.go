@@ -78,6 +78,19 @@ type Params struct {
 	// merely records the waiter; a session message would trigger the same
 	// recovery moments later.
 	RecoverOnRemoteEvidence bool
+	// FDEnabled attaches the region-scoped gossip failure detector
+	// (internal/gossipfd, paper reference [13]) to the member. Suspected
+	// peers are skipped when picking local-recovery, search and handoff
+	// targets, so crashed bufferers do not soak up retries; recovery then
+	// re-routes via the §3.3 search path. Graceful-leave-only experiments
+	// leave this off and behave exactly as before.
+	FDEnabled bool
+	// FDGossipInterval, FDFailTimeout and FDCleanupTimeout tune the
+	// detector; zeros take gossipfd's defaults (50 ms gossip, suspect
+	// after 8 intervals, cleanup after 2 fail timeouts).
+	FDGossipInterval time.Duration
+	FDFailTimeout    time.Duration
+	FDCleanupTimeout time.Duration
 }
 
 // Default parameter values (the paper's evaluation settings where given).

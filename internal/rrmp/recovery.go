@@ -20,6 +20,14 @@ type recovery struct {
 	remoteTries int
 	localTimer  clock.Timer
 	remoteTimer clock.Timer
+	// localDead / remoteDead mark a phase that can make no further
+	// progress (retry budget exhausted, or no peers to ask). When both
+	// are set the episode is abandoned and counted unrecoverable.
+	localDead  bool
+	remoteDead bool
+	// rerecovery marks an episode re-initiated by Member.Recover after a
+	// crash outage; its completion feeds Metrics.ReRecoveryLatency.
+	rerecovery bool
 }
 
 func (r *recovery) stop() {
@@ -52,28 +60,33 @@ func (m *Member) noteTop(src topology.NodeID, top uint64) {
 // StartRecovery begins loss recovery for id as if the member had just
 // detected the loss. It is exported for the experiment harness, which uses
 // it to reproduce §4's "all other members simultaneously detect the loss".
-// It is a no-op if the message was already received or recovery is active.
+// It is a no-op if the member is gone, the message was already received,
+// or recovery is active.
 func (m *Member) StartRecovery(id wire.MessageID) {
-	if m.left {
+	if m.left || m.crashed {
 		return
 	}
 	m.startRecovery(id)
 }
 
 func (m *Member) startRecovery(id wire.MessageID) {
+	m.startRecoveryTagged(id, false)
+}
+
+// startRecoveryTagged starts recovery, optionally marking the episode as a
+// post-crash re-recovery (Member.Recover sets rerecovery).
+func (m *Member) startRecoveryTagged(id wire.MessageID, rerecovery bool) {
 	if m.source(id.Source).received[id.Seq] {
 		return
 	}
 	if _, ok := m.recoveries[id]; ok {
 		return
 	}
-	rec := &recovery{id: id, detectedAt: m.cfg.Sched.Now()}
+	rec := &recovery{id: id, detectedAt: m.cfg.Sched.Now(), rerecovery: rerecovery}
 	m.recoveries[id] = rec
 	m.trace("DETECT", id.String())
 	m.localAttempt(rec)
-	if len(m.cfg.View.ParentMembers) > 0 {
-		m.remoteAttempt(rec)
-	}
+	m.remoteAttempt(rec)
 }
 
 // Recovering reports whether a recovery for id is in flight (used by tests
@@ -84,17 +97,24 @@ func (m *Member) Recovering(id wire.MessageID) bool {
 }
 
 // localAttempt sends one local-recovery request to a uniformly random
-// region neighbor and arms the RTT retry timer (§2.2).
+// live region neighbor and arms the RTT retry timer (§2.2). With the
+// failure detector on, suspected peers are skipped so requests stop
+// landing on crashed members.
 func (m *Member) localAttempt(rec *recovery) {
 	if m.recoveries[rec.id] != rec {
 		return
 	}
-	peers := m.cfg.View.RegionPeers
+	peers := m.livePeers()
 	if len(peers) == 0 {
-		return // single-member region: only remote recovery can help
+		// Single-member region: only remote recovery can help.
+		rec.localDead = true
+		m.checkAbandoned(rec)
+		return
 	}
 	if rec.localTries >= m.params.MaxLocalTries {
 		m.metrics.LocalGiveUps.Inc()
+		rec.localDead = true
+		m.checkAbandoned(rec)
 		return
 	}
 	rec.localTries++
@@ -115,10 +135,15 @@ func (m *Member) remoteAttempt(rec *recovery) {
 	}
 	parents := m.cfg.View.ParentMembers
 	if len(parents) == 0 {
+		// Root-region member: there is nobody above to ask.
+		rec.remoteDead = true
+		m.checkAbandoned(rec)
 		return
 	}
 	if rec.remoteTries >= m.params.MaxRemoteTries {
 		m.metrics.RemoteGiveUps.Inc()
+		rec.remoteDead = true
+		m.checkAbandoned(rec)
 		return
 	}
 	rec.remoteTries++
@@ -131,4 +156,24 @@ func (m *Member) remoteAttempt(rec *recovery) {
 		m.cfg.Transport.Send(r, wire.Message{Type: wire.TypeRemoteRequest, From: m.self, ID: rec.id, Origin: m.self})
 	}
 	rec.remoteTimer = m.cfg.Sched.After(m.params.ParentRTT+m.params.RetryGrace, func() { m.remoteAttempt(rec) })
+}
+
+// checkAbandoned finishes an episode once neither phase can make further
+// progress: the message is counted unrecoverable — the explicit signal
+// replacing silent loss — and the episode is dropped. A late delivery
+// (another member's repair multicast, a handoff) un-counts it again.
+func (m *Member) checkAbandoned(rec *recovery) {
+	if !rec.localDead || !rec.remoteDead {
+		return
+	}
+	if m.recoveries[rec.id] != rec {
+		return
+	}
+	rec.stop()
+	delete(m.recoveries, rec.id)
+	if !m.unrecovered[rec.id] {
+		m.unrecovered[rec.id] = true
+		m.metrics.Unrecoverable.Inc()
+	}
+	m.trace("UNRECOVERABLE", rec.id.String())
 }

@@ -14,10 +14,12 @@ package rrmp
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/gossipfd"
 	"repro/internal/rng"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -114,9 +116,17 @@ type Member struct {
 	// origin) pair from a search, so the burst of in-flight SEARCH PDUs
 	// that race the terminating HAVE does not each trigger another repair.
 	served map[servedKey]time.Duration
+	// fd is the optional gossip failure detector (Params.FDEnabled);
+	// nil when disabled, in which case every peer counts as live.
+	fd *gossipfd.Detector
+	// unrecovered holds messages whose recovery this member abandoned
+	// after exhausting every retry budget; cleared again if the message
+	// arrives late. See Metrics.Unrecoverable.
+	unrecovered map[wire.MessageID]bool
 
 	metrics Metrics
 	left    bool
+	crashed bool
 }
 
 // NewMember constructs a member. It panics on missing required
@@ -147,6 +157,7 @@ func NewMember(cfg Config) *Member {
 		knownBufferer: make(map[wire.MessageID]topology.NodeID),
 		pendingReply:  make(map[wire.MessageID]clock.Timer),
 		served:        make(map[servedKey]time.Duration),
+		unrecovered:   make(map[wire.MessageID]bool),
 	}
 	m.inRegion[m.self] = true
 	for _, p := range cfg.View.RegionPeers {
@@ -177,7 +188,66 @@ func NewMember(cfg Config) *Member {
 		},
 		OnPromote: cfg.Hooks.OnPromote,
 	})
+	if m.params.FDEnabled && len(cfg.View.RegionPeers) > 0 {
+		m.fd = gossipfd.New(gossipfd.Config{
+			View:           cfg.View,
+			Sched:          cfg.Sched,
+			Rng:            cfg.Rng.Split(0x676f737369706664), // "gossipfd": detector's own stream
+			Send:           func(to topology.NodeID, msg wire.Message) { m.cfg.Transport.Send(to, msg) },
+			GossipInterval: m.params.FDGossipInterval,
+			FailTimeout:    m.params.FDFailTimeout,
+			CleanupTimeout: m.params.FDCleanupTimeout,
+			OnSuspect:      m.onSuspect,
+			OnRestore:      m.onRestore,
+		})
+		m.fd.Start()
+	}
 	return m
+}
+
+// onSuspect reacts to the failure detector marking a peer dead: cached
+// bufferer pointers at the suspect are dropped so in-flight searches fall
+// back to the random walk instead of probing a corpse.
+func (m *Member) onSuspect(n topology.NodeID) {
+	m.metrics.Suspects.Inc()
+	for id, who := range m.knownBufferer {
+		if who == n {
+			delete(m.knownBufferer, id)
+		}
+	}
+	m.trace("SUSPECT", fmt.Sprintf("peer=%d", n))
+}
+
+func (m *Member) onRestore(n topology.NodeID) {
+	m.metrics.Restores.Inc()
+	m.trace("RESTORE", fmt.Sprintf("peer=%d", n))
+}
+
+// peerLive reports whether the failure detector considers n alive. With
+// no detector every peer is live, preserving the pre-FD protocol exactly.
+func (m *Member) peerLive(n topology.NodeID) bool {
+	return m.fd == nil || !m.fd.Suspected(n)
+}
+
+// livePeers returns the region peers currently considered alive. If the
+// detector suspects everyone (e.g. right after this member's own outage),
+// it falls back to the full static view: probing a possibly-dead peer
+// beats deadlocking on an empty candidate set.
+func (m *Member) livePeers() []topology.NodeID {
+	peers := m.cfg.View.RegionPeers
+	if m.fd == nil {
+		return peers
+	}
+	live := make([]topology.NodeID, 0, len(peers))
+	for _, p := range peers {
+		if !m.fd.Suspected(p) {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return peers
+	}
+	return live
 }
 
 // ID returns the member's node id.
@@ -251,7 +321,7 @@ func (m *Member) source(src topology.NodeID) *sourceState {
 // Receive dispatches one incoming PDU. It is the single entry point for
 // network input.
 func (m *Member) Receive(from topology.NodeID, msg wire.Message) {
-	if m.left {
+	if m.left || m.crashed {
 		return
 	}
 	switch msg.Type {
@@ -273,6 +343,10 @@ func (m *Member) Receive(from topology.NodeID, msg wire.Message) {
 		m.onHave(from, msg)
 	case wire.TypeHandoff:
 		m.onHandoff(from, msg)
+	case wire.TypeHeartbeat:
+		if m.fd != nil {
+			m.fd.Receive(msg)
+		}
 	default:
 		// Unknown/baseline-only PDUs are ignored by the RRMP engine.
 		m.trace("IGNORE", fmt.Sprintf("type=%v from=%d", msg.Type, from))
@@ -383,9 +457,20 @@ func (m *Member) deliver(id wire.MessageID, payload []byte, from topology.NodeID
 		delete(m.recoveries, id)
 		latency := now - rec.detectedAt
 		m.metrics.RecoveryLatency.AddDuration(latency)
+		if rec.rerecovery {
+			m.metrics.ReRecoveryLatency.AddDuration(latency)
+		}
 		if m.cfg.Hooks.OnRecovered != nil {
 			m.cfg.Hooks.OnRecovered(id, latency)
 		}
+	}
+
+	// A message given up on can still arrive — a peer's regional repair
+	// multicast, a handoff, a very late retransmission. It is then no
+	// longer lost.
+	if m.unrecovered[id] {
+		delete(m.unrecovered, id)
+		m.metrics.Unrecoverable.Add(-1)
 	}
 
 	// Relay to downstream members recorded as waiting (§2.2).
@@ -464,11 +549,14 @@ func (m *Member) addWaiter(id wire.MessageID, who topology.NodeID) {
 // Leave removes the member from the group voluntarily: each long-term
 // buffered message is transferred to a randomly selected region peer so no
 // loss becomes unrecoverable (§3.2). The member then stops processing.
+// A crashed member cannot leave gracefully; Leave is then a no-op.
 func (m *Member) Leave() {
-	if m.left {
+	if m.left || m.crashed {
 		return
 	}
-	peers := m.cfg.View.RegionPeers
+	// Hand off to peers the failure detector believes are alive —
+	// transferring the long-term buffer to a corpse would defeat §3.2.
+	peers := m.livePeers()
 	for _, e := range m.buf.TakeForHandoff() {
 		if len(peers) == 0 {
 			break // sole region member: nothing to transfer to
@@ -500,8 +588,102 @@ func (m *Member) Leave() {
 		t.Stop()
 	}
 	m.pendingReply = make(map[wire.MessageID]clock.Timer)
+	if m.fd != nil {
+		m.fd.Stop()
+	}
 	m.buf.Close()
 	m.left = true
+}
+
+// Crash halts the member ungracefully: no handoff, every pending protocol
+// timer stops, and incoming PDUs are ignored until Recover. Protocol state
+// (reception sets, buffer contents) survives the outage, modeling a
+// process that restarts from a warm image. The caller is responsible for
+// also cutting the member's network (netsim.SetDown) so in-flight traffic
+// behaves like a real crash.
+func (m *Member) Crash() {
+	if m.left || m.crashed {
+		return
+	}
+	for _, rec := range m.recoveries {
+		rec.stop()
+	}
+	m.recoveries = make(map[wire.MessageID]*recovery)
+	for _, s := range m.searches {
+		s.stop()
+	}
+	m.searches = make(map[wire.MessageID]*searchState)
+	for _, t := range m.pendingMC {
+		t.Stop()
+	}
+	m.pendingMC = make(map[wire.MessageID]clock.Timer)
+	for _, t := range m.pendingReply {
+		t.Stop()
+	}
+	m.pendingReply = make(map[wire.MessageID]clock.Timer)
+	if m.fd != nil {
+		m.fd.Stop()
+	}
+	m.crashed = true
+	m.trace("CRASH", "")
+}
+
+// Recover resumes a crashed member. Gossip restarts, and every gap the
+// member had already observed (detected losses whose recovery died with
+// the crash) is re-detected and recovered again — the re-recovery path
+// whose latency Metrics.ReRecoveryLatency records. Losses of messages
+// published during the outage surface through the next session message as
+// usual. No-op unless the member is crashed.
+func (m *Member) Recover() {
+	if m.left || !m.crashed {
+		return
+	}
+	m.crashed = false
+	if m.fd != nil {
+		m.fd.Start()
+	}
+	m.trace("RECOVER", "")
+	// Walk sources in a fixed order: recovery start order pairs rng draws
+	// with messages, so map iteration order must not leak into runs.
+	srcs := make([]topology.NodeID, 0, len(m.sources))
+	for src := range m.sources {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, src := range srcs {
+		st := m.sources[src]
+		for seq := m.params.StartSeq + 1; seq <= st.maxSeen; seq++ {
+			if !st.received[seq] {
+				id := wire.MessageID{Source: src, Seq: seq}
+				if m.unrecovered[id] {
+					// A fresh retry budget: the message is back in
+					// flight, not lost.
+					delete(m.unrecovered, id)
+					m.metrics.Unrecoverable.Add(-1)
+				}
+				m.startRecoveryTagged(id, true)
+			}
+		}
+	}
+}
+
+// Crashed reports whether the member is currently crashed.
+func (m *Member) Crashed() bool { return m.crashed }
+
+// Unrecovered returns the messages this member has given up recovering,
+// sorted by (source, sequence). Empty for a healthy quiesced run.
+func (m *Member) Unrecovered() []wire.MessageID {
+	out := make([]wire.MessageID, 0, len(m.unrecovered))
+	for id := range m.unrecovered {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
 }
 
 func (m *Member) trace(kind, detail string) {

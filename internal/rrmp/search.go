@@ -174,8 +174,11 @@ func (m *Member) searchAttempt(s *searchState) {
 	s.timer = m.cfg.Sched.After(m.params.IntraRTT+m.params.RetryGrace, func() { m.searchAttempt(s) })
 }
 
+// nextRandomTarget picks a uniformly random live region peer; with the
+// failure detector on, suspected members are excluded so the random walk
+// routes around crashed bufferers instead of timing out on them.
 func (m *Member) nextRandomTarget() (topology.NodeID, bool) {
-	peers := m.cfg.View.RegionPeers
+	peers := m.livePeers()
 	if len(peers) == 0 {
 		return 0, false
 	}
@@ -183,14 +186,27 @@ func (m *Member) nextRandomTarget() (topology.NodeID, bool) {
 }
 
 // nextDeterministicTarget walks the hash-elected bufferer set in rank
-// order (§3.4: any member can compute the set locally).
+// order (§3.4: any member can compute the set locally), preferring
+// candidates the failure detector considers alive. If every candidate is
+// suspected it falls back to rank order — a stale suspicion must not make
+// the set unreachable forever.
 func (m *Member) nextDeterministicTarget(s *searchState) (topology.NodeID, bool) {
 	set := m.locator.Bufferers(s.id)
+	var fallback topology.NodeID = topology.NoNode
 	for i := s.tries; i < len(set)+s.tries; i++ {
 		cand := set[i%len(set)]
-		if cand != m.self {
+		if cand == m.self {
+			continue
+		}
+		if m.peerLive(cand) {
 			return cand, true
 		}
+		if fallback == topology.NoNode {
+			fallback = cand
+		}
+	}
+	if fallback != topology.NoNode {
+		return fallback, true
 	}
 	return 0, false
 }

@@ -20,13 +20,17 @@ const (
 	// ChurnStreamLabel derives the churn stream; exported so rrmp-sim's
 	// single-run mode schedules the identical leave sequence for a seed.
 	ChurnStreamLabel = 0xfeedc4a2
+	// CrashStreamLabel derives the crash-fault stream, independent of the
+	// churn stream so adding crashes never perturbs the leave sequence.
+	CrashStreamLabel = 0xfeedc4a5
 )
 
-// ScheduleChurn draws Poisson-timed graceful leaves of distinct random
-// candidates at the given rate (leaves/second) until the horizon, invoking
-// schedule for each (time, victim) pair, and returns how many it scheduled.
-// It consumes candidates without replacement, so no member leaves twice.
-// rrmp-sim's single-run mode and RunScenario share this construction.
+// ScheduleChurn draws Poisson-timed events on distinct random candidates
+// at the given rate (events/second) until the horizon, invoking schedule
+// for each (time, victim) pair, and returns how many it scheduled. It
+// consumes candidates without replacement, so no member is picked twice.
+// rrmp-sim's single-run mode and RunScenario share this construction for
+// graceful leaves (ChurnStreamLabel) and crash faults (CrashStreamLabel).
 func ScheduleChurn(r *rng.Source, rate float64, horizon time.Duration,
 	candidates []topology.NodeID, schedule func(at time.Duration, victim topology.NodeID)) int {
 	if rate <= 0 {
@@ -45,6 +49,36 @@ func ScheduleChurn(r *rng.Source, rate float64, horizon time.Duration,
 		at += time.Duration(r.ExpFloat64(rate) * float64(time.Second))
 	}
 	return leaves
+}
+
+// PartitionClasses splits the topology into two halves for a partition
+// cut. With multiple regions the cut is region-granular: the first
+// ceil(R/2) regions (the sender's side) form class 0, the rest class 1.
+// A single-region topology splits its member list down the middle, with
+// the sender's half in class 0. The same topology always yields the same
+// cut, so partition scenarios are pure functions of (scenario, seed).
+func PartitionClasses(topo *topology.Topology) map[topology.NodeID]int {
+	classes := make(map[topology.NodeID]int, topo.NumNodes())
+	if topo.NumRegions() > 1 {
+		cut := (topo.NumRegions() + 1) / 2
+		for r := 0; r < topo.NumRegions(); r++ {
+			side := 0
+			if r >= cut {
+				side = 1
+			}
+			for _, n := range topo.Members(topology.RegionID(r)) {
+				classes[n] = side
+			}
+		}
+		return classes
+	}
+	members := topo.Members(0)
+	for i, n := range members {
+		if i >= (len(members)+1)/2 {
+			classes[n] = 1
+		}
+	}
+	return classes
 }
 
 // RunScenario builds one cluster for the scenario and runs its workload to
@@ -114,6 +148,10 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 	if sc.RepairBackoff > 0 {
 		params.RepairBackoffMax = sc.RepairBackoff
 	}
+	// Crash and partition cells run the gossip failure detector so that
+	// recovery routes around dead members; fault-free cells keep the
+	// detector (and its traffic) off and stay comparable to old runs.
+	params.FDEnabled = sc.Crash > 0 || sc.PartitionAt > 0
 	c, err := NewCluster(ClusterConfig{
 		Topo:   topo,
 		Params: params,
@@ -136,18 +174,68 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 
 	// Churn: Poisson-timed graceful leaves of distinct random non-sender
 	// members, exercising §3.2's long-term handoff under load.
-	leaves := 0
-	if sc.Churn > 0 {
-		candidates := make([]topology.NodeID, 0, topo.NumNodes()-1)
+	var candidates []topology.NodeID
+	if sc.Churn > 0 || sc.Crash > 0 {
+		candidates = make([]topology.NodeID, 0, topo.NumNodes()-1)
 		for _, n := range c.All {
 			if n != topo.Sender() {
 				candidates = append(candidates, n)
 			}
 		}
-		leaves = ScheduleChurn(rng.New(seed).Split(ChurnStreamLabel), sc.Churn, sc.Horizon,
+	}
+	// The two Poisson streams draw victims independently, so a member can
+	// be picked by both; the second event is a no-op. Leaves and crashes
+	// are therefore counted at execution time, so the reported metrics are
+	// faults actually injected, not draws.
+	leaves := 0
+	if sc.Churn > 0 {
+		ScheduleChurn(rng.New(seed).Split(ChurnStreamLabel), sc.Churn, sc.Horizon,
 			candidates, func(at time.Duration, victim topology.NodeID) {
-				c.Sim.At(at, func() { c.Members[victim].Leave() })
+				c.Sim.At(at, func() {
+					m := c.Members[victim]
+					if m.Left() || m.Crashed() {
+						return
+					}
+					m.Leave()
+					leaves++
+				})
 			})
+	}
+
+	// Crash faults: an independent Poisson process of ungraceful stops —
+	// no handoff, traffic cut — exercising §3.3's search recovery and the
+	// failure detector. With CrashRecover set, each victim returns after
+	// its downtime and re-recovers the gaps it missed.
+	crashes := 0
+	if sc.Crash > 0 {
+		ScheduleChurn(rng.New(seed).Split(CrashStreamLabel), sc.Crash, sc.Horizon,
+			candidates, func(at time.Duration, victim topology.NodeID) {
+				c.Sim.At(at, func() {
+					m := c.Members[victim]
+					if m.Left() || m.Crashed() {
+						return
+					}
+					m.Crash()
+					c.Net.SetDown(victim, true)
+					crashes++
+				})
+				if sc.CrashRecover > 0 {
+					c.Sim.At(at+sc.CrashRecover, func() {
+						c.Net.SetDown(victim, false)
+						c.Members[victim].Recover()
+					})
+				}
+			})
+	}
+
+	// Partition timeline: a deterministic cut at PartitionAt, healed
+	// PartitionDur later (never, if zero).
+	if sc.PartitionAt > 0 {
+		classes := PartitionClasses(topo)
+		c.Sim.At(sc.PartitionAt, func() { c.Net.SetPartition(classes) })
+		if sc.PartitionDur > 0 {
+			c.Sim.At(sc.PartitionAt+sc.PartitionDur, func() { c.Net.ClearPartition() })
+		}
 	}
 
 	c.Sim.RunUntil(sc.Horizon)
@@ -160,9 +248,10 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		"events":       float64(c.Sim.Processed()),
 	}
 	var delivered, duplicates, localReq, remoteReq, repairs, regional, handoffs int64
+	var searches, searchFailures, suspects, unrecoverable int64
 	var bufferIntegral float64
-	var peak, longTerm int
-	var recSum, recN, bufSum, bufN float64
+	var peak, longTerm, survivors int
+	var recSum, recN, bufSum, bufN, rerecSum, rerecN float64
 	for _, m := range c.Members {
 		mm := m.Metrics()
 		delivered += mm.Delivered.Value()
@@ -172,6 +261,9 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		repairs += mm.RepairsSent.Value()
 		regional += mm.RegionalMulticasts.Value()
 		handoffs += mm.HandoffsSent.Value()
+		searches += mm.SearchesStarted.Value()
+		searchFailures += mm.SearchFailures.Value()
+		suspects += mm.Suspects.Value()
 		bufferIntegral += m.Buffer().OccupancyIntegral(c.Sim.Now())
 		if p := m.Buffer().PeakLen(); p > peak {
 			peak = p
@@ -181,16 +273,45 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		recN += float64(mm.RecoveryLatency.N())
 		bufSum += mm.BufferingTime.Mean() * float64(mm.BufferingTime.N())
 		bufN += float64(mm.BufferingTime.N())
+		rerecSum += mm.ReRecoveryLatency.Mean() * float64(mm.ReRecoveryLatency.N())
+		rerecN += float64(mm.ReRecoveryLatency.N())
+		if !m.Crashed() && !m.Left() {
+			survivors++
+			unrecoverable += mm.Unrecoverable.Value()
+		}
 	}
 	if sc.Msgs > 0 {
 		out["delivery_ratio"] = float64(delivered) / float64(n*sc.Msgs)
 		minReach := n
+		survMinReach := survivors
+		var survDelivered int64
 		for _, id := range ids {
-			if got := c.CountReceived(id); got < minReach {
+			got, survGot := 0, 0
+			for _, m := range c.Members {
+				if !m.HasReceived(id) {
+					continue
+				}
+				got++
+				if !m.Crashed() && !m.Left() {
+					survGot++
+				}
+			}
+			if got < minReach {
 				minReach = got
 			}
+			if survGot < survMinReach {
+				survMinReach = survGot
+			}
+			survDelivered += int64(survGot)
 		}
 		out["min_reach_frac"] = float64(minReach) / float64(n)
+		if survivors > 0 {
+			// Survivor-scoped reach: crashed (and departed) members are
+			// excused, so these read as the paper's reliability guarantee
+			// under the crash-fault threat model.
+			out["survivor_delivery_ratio"] = float64(survDelivered) / float64(survivors*len(ids))
+			out["survivor_min_reach_frac"] = float64(survMinReach) / float64(survivors)
+		}
 	}
 	out["duplicates"] = float64(duplicates)
 	out["local_requests"] = float64(localReq)
@@ -198,14 +319,23 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 	out["repairs"] = float64(repairs)
 	out["regional_multicasts"] = float64(regional)
 	out["handoffs"] = float64(handoffs)
+	out["searches"] = float64(searches)
+	out["search_failures"] = float64(searchFailures)
 	out["buffer_integral_msgsec"] = bufferIntegral
 	out["peak_buffered"] = float64(peak)
 	out["long_term_entries"] = float64(longTerm)
+	out["crashes"] = float64(crashes)
+	out["suspects"] = float64(suspects)
+	out["unrecoverable"] = float64(unrecoverable)
+	out["partition_drops"] = float64(c.Net.Stats().PartitionDrops())
 	if recN > 0 {
 		out["mean_recovery_ms"] = recSum / recN
 	}
 	if bufN > 0 {
 		out["mean_buffering_ms"] = bufSum / bufN
+	}
+	if rerecN > 0 {
+		out["mean_rerecovery_ms"] = rerecSum / rerecN
 	}
 	return out, nil
 }

@@ -27,10 +27,10 @@ import (
 )
 
 // executorScheduler implements clock.Scheduler over the wall clock, posting
-// every callback to a serializing executor channel.
+// every callback to the node's serializing executor.
 type executorScheduler struct {
 	start time.Time
-	exec  chan<- func()
+	post  func(fn func())
 }
 
 // Now implements clock.Scheduler.
@@ -42,12 +42,9 @@ func (s *executorScheduler) After(d time.Duration, fn func()) clock.Timer {
 		d = 0
 	}
 	t := &realTimer{}
-	t.timer = time.AfterFunc(d, func() {
-		// Post to the executor; drop silently if the node is closing (the
-		// channel send would block forever otherwise).
-		defer func() { _ = recover() }()
-		s.exec <- fn
-	})
+	// post drops the callback if the node has closed, under the node's
+	// mutex — timers may fire at any moment, including during Close.
+	t.timer = time.AfterFunc(d, func() { s.post(fn) })
 	return t
 }
 
@@ -117,15 +114,15 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 		peers[id] = ua
 	}
-	exec := make(chan func(), 1024)
-	return &Node{
+	n := &Node{
 		self:      cfg.Self,
 		conn:      conn,
 		peers:     peers,
-		sched:     &executorScheduler{start: time.Now(), exec: exec},
-		exec:      exec,
+		exec:      make(chan func(), 1024),
 		onReceive: cfg.OnReceive,
-	}, nil
+	}
+	n.sched = &executorScheduler{start: time.Now(), post: n.post}
+	return n, nil
 }
 
 // Addr returns the bound UDP address (useful with ":0" listens).
@@ -178,15 +175,17 @@ func (n *Node) runReader() {
 	}
 }
 
-// post enqueues fn on the executor, dropping it if the node closed.
+// post enqueues fn on the executor, dropping it if the node closed. The
+// send happens under the mutex, so it cannot race a concurrent Close: once
+// Close has set closed, no further callback enters the channel. The
+// executor never takes this mutex, so a send blocked on a full buffer
+// still drains.
 func (n *Node) post(fn func()) {
 	n.mu.Lock()
-	closed := n.closed
-	n.mu.Unlock()
-	if closed {
+	defer n.mu.Unlock()
+	if n.closed {
 		return
 	}
-	defer func() { _ = recover() }() // racing close: drop
 	n.exec <- fn
 }
 
@@ -230,7 +229,9 @@ func (n *Node) Broadcast(msg wire.Message) {
 
 // Close shuts the node down: the socket closes, the executor drains, and
 // all goroutines exit before Close returns. Timers firing afterwards are
-// dropped.
+// dropped. The executor channel is deliberately never closed — late
+// timers serialize against the closed flag instead, so no send can race a
+// channel close.
 func (n *Node) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -244,5 +245,4 @@ func (n *Node) Close() {
 	// Unblock the executor; pending callbacks before the nil are executed.
 	n.exec <- nil
 	n.wg.Wait()
-	close(n.exec)
 }

@@ -127,6 +127,14 @@ func WithTracer(t trace.Tracer) Option {
 	return func(c *config) { c.tracer = t }
 }
 
+// WithFailureDetector attaches the region-scoped gossip failure detector
+// to every member, so recovery and search traffic routes around crashed
+// peers (see Params.FDEnabled). Crash and partition scenarios want this;
+// graceful-leave-only runs do not need it.
+func WithFailureDetector() Option {
+	return func(c *config) { c.params.FDEnabled = true }
+}
+
 // blackoutLoss drops all DATA to the victim set and defers to the inner
 // model (if any) elsewhere.
 type blackoutLoss struct {
@@ -286,8 +294,31 @@ func (g *Group) TotalPacketsSent() int64 { return g.cluster.Net.Stats().TotalSen
 // TotalBytesSent returns all bytes offered to the network so far.
 func (g *Group) TotalBytesSent() int64 { return g.cluster.Net.Stats().TotalBytes() }
 
-// Crash marks a member as failed: its traffic is dropped from now on.
-func (g *Group) Crash(id NodeID) { g.cluster.Net.SetDown(id, true) }
+// Crash fails a member ungracefully: its timers stop, no handoff happens,
+// and its traffic is dropped from now on. Protocol state survives for a
+// later Recover.
+func (g *Group) Crash(id NodeID) {
+	g.cluster.Members[id].Crash()
+	g.cluster.Net.SetDown(id, true)
+}
+
+// Recover brings a crashed member back: its network reconnects and it
+// re-runs recovery for every gap it knew about before (and learns about
+// newer losses from the next session message).
+func (g *Group) Recover(id NodeID) {
+	g.cluster.Net.SetDown(id, false)
+	g.cluster.Members[id].Recover()
+}
+
+// Partition splits the group into two halves — along region boundaries
+// when there are multiple regions, otherwise down the middle of the
+// member list — and drops every packet crossing the cut until Heal.
+func (g *Group) Partition() {
+	g.cluster.Net.SetPartition(runner.PartitionClasses(g.cluster.Topo))
+}
+
+// Heal reconnects a partitioned group.
+func (g *Group) Heal() { g.cluster.Net.ClearPartition() }
 
 // Leave makes a member depart gracefully, handing its long-term buffer to
 // random region peers (§3.2).
@@ -302,12 +333,26 @@ type GroupStats struct {
 	Repairs            int64
 	RegionalMulticasts int64
 	Handoffs           int64
-	LongTermEntries    int
-	BufferedEntries    int
+	// Searches counts §3.3 search-for-bufferer episodes started;
+	// SearchFailures counts those abandoned after MaxSearchTries.
+	Searches       int64
+	SearchFailures int64
+	// Suspects counts failure-detector suspicion events (failure detector
+	// runs only with WithFailureDetector / Params.FDEnabled).
+	Suspects int64
+	// Unrecoverable counts losses whose recovery exhausted every retry
+	// budget at members still in the group — the explicit signal that a
+	// message is gone, never a silent omission.
+	Unrecoverable   int64
+	LongTermEntries int
+	BufferedEntries int
 	// BufferIntegral is total message-seconds of buffering paid so far.
 	BufferIntegral float64
 	// MeanRecoveryMs averages recovery latency over all repaired losses.
 	MeanRecoveryMs float64
+	// MeanReRecoveryMs averages the latency of recoveries re-initiated
+	// after a crash outage (Member.Recover).
+	MeanReRecoveryMs float64
 	// MeanBufferingMs averages store→evict times.
 	MeanBufferingMs float64
 }
@@ -315,7 +360,7 @@ type GroupStats struct {
 // Stats aggregates metrics across all members at the current instant.
 func (g *Group) Stats() GroupStats {
 	var s GroupStats
-	var recSum, recN, bufSum, bufN float64
+	var recSum, recN, bufSum, bufN, rerecSum, rerecN float64
 	for _, m := range g.cluster.Members {
 		mm := m.Metrics()
 		s.Delivered += mm.Delivered.Value()
@@ -325,6 +370,12 @@ func (g *Group) Stats() GroupStats {
 		s.Repairs += mm.RepairsSent.Value()
 		s.RegionalMulticasts += mm.RegionalMulticasts.Value()
 		s.Handoffs += mm.HandoffsSent.Value()
+		s.Searches += mm.SearchesStarted.Value()
+		s.SearchFailures += mm.SearchFailures.Value()
+		s.Suspects += mm.Suspects.Value()
+		if !m.Crashed() && !m.Left() {
+			s.Unrecoverable += mm.Unrecoverable.Value()
+		}
 		s.LongTermEntries += m.Buffer().LongTermCount()
 		s.BufferedEntries += m.Buffer().Len()
 		s.BufferIntegral += m.Buffer().OccupancyIntegral(g.Now())
@@ -332,12 +383,17 @@ func (g *Group) Stats() GroupStats {
 		recN += float64(mm.RecoveryLatency.N())
 		bufSum += mm.BufferingTime.Mean() * float64(mm.BufferingTime.N())
 		bufN += float64(mm.BufferingTime.N())
+		rerecSum += mm.ReRecoveryLatency.Mean() * float64(mm.ReRecoveryLatency.N())
+		rerecN += float64(mm.ReRecoveryLatency.N())
 	}
 	if recN > 0 {
 		s.MeanRecoveryMs = recSum / recN
 	}
 	if bufN > 0 {
 		s.MeanBufferingMs = bufSum / bufN
+	}
+	if rerecN > 0 {
+		s.MeanReRecoveryMs = rerecSum / rerecN
 	}
 	return s
 }
