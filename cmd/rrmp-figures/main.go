@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -31,13 +32,15 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size for -trials (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*fig, *runs, *seed, *trials, *parallel); err != nil {
+	if err := run(os.Stdout, *fig, *runs, *seed, *trials, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "rrmp-figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, runs int, seed uint64, trials, parallel int) error {
+// run regenerates the requested figures, writing every table to w (tests
+// capture a buffer; main passes os.Stdout).
+func run(w io.Writer, fig string, runs int, seed uint64, trials, parallel int) error {
 	opt := repro.SweepOptions{Trials: trials, Parallel: parallel, BaseSeed: seed}
 	want := func(name string) bool { return fig == "all" || strings.EqualFold(fig, name) }
 	or := func(def int) int {
@@ -50,70 +53,70 @@ func run(fig string, runs int, seed uint64, trials, parallel int) error {
 
 	if want("3") {
 		any = true
-		header("Figure 3 — P(k long-term bufferers), region n=100")
+		header(w, "Figure 3 — P(k long-term bufferers), region n=100")
 		series := repro.Figure3([]float64{5, 6, 7, 8}, 100, 20*or(1000), seed)
-		printSeriesTable("k", series)
+		printSeriesTable(w, "k", series)
 	}
 	if want("4") {
 		any = true
-		header("Figure 4 — P(no long-term bufferer) vs C (percent)")
+		header(w, "Figure 4 — P(no long-term bufferer) vs C (percent)")
 		series := repro.Figure4([]float64{1, 2, 3, 4, 5, 6}, 100, 100*or(1000), seed)
-		printSeriesTable("C", series)
+		printSeriesTable(w, "C", series)
 	}
 	if want("6") {
 		any = true
-		header("Figure 6 — mean buffering time vs #initial holders (n=100, T=40ms)")
+		header(w, "Figure 6 — mean buffering time vs #initial holders (n=100, T=40ms)")
 		s, err := repro.Figure6(or(20), seed)
 		if err != nil {
 			return err
 		}
-		printSeriesTable("#holders", []repro.Series{s})
+		printSeriesTable(w, "#holders", []repro.Series{s})
 	}
 	if want("7") {
 		any = true
-		header("Figure 7 — #received vs #buffered over time (1 initial holder, n=100)")
+		header(w, "Figure 7 — #received vs #buffered over time (1 initial holder, n=100)")
 		s, err := repro.Figure7(seed)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%10s %10s %10s\n", "t(ms)", "#received", "#buffered")
+		fmt.Fprintf(w, "%10s %10s %10s\n", "t(ms)", "#received", "#buffered")
 		for i := range s.TimesMs {
 			if i%5 != 0 && i != len(s.TimesMs)-1 {
 				continue // print every 5 ms
 			}
-			fmt.Printf("%10.0f %10d %10d\n", s.TimesMs[i], s.Received[i], s.Buffered[i])
+			fmt.Fprintf(w, "%10.0f %10d %10d\n", s.TimesMs[i], s.Received[i], s.Buffered[i])
 		}
 	}
 	if want("8") {
 		any = true
-		header("Figure 8 — search time vs #bufferers (n=100)")
+		header(w, "Figure 8 — search time vs #bufferers (n=100)")
 		s, err := repro.Figure8(or(100), seed)
 		if err != nil {
 			return err
 		}
-		printSeriesTable("#bufferers", []repro.Series{s})
+		printSeriesTable(w, "#bufferers", []repro.Series{s})
 	}
 	if want("9") {
 		any = true
-		header("Figure 9 — search time vs region size (B=10)")
+		header(w, "Figure 9 — search time vs region size (B=10)")
 		s, err := repro.Figure9(or(100), seed)
 		if err != nil {
 			return err
 		}
-		printSeriesTable("region", []repro.Series{s})
+		printSeriesTable(w, "region", []repro.Series{s})
 	}
 	if want("A1") {
 		any = true
-		header("Ablation A1 — buffering policy cost (n=100, 30 msgs, 10% loss)")
+		header(w, "Ablation A1 — buffering policy cost (n=100, 30 msgs, 10% loss)")
 		if trials > 1 {
 			rows, err := repro.AblationPoliciesTrials(opt)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%d trials; every column is mean ± 95%% CI\n", trials)
-			fmt.Printf("%-18s %16s %20s %12s %18s\n", "policy", "delivery", "buf(msg·s)", "peak", "mean-buf(ms)")
+			fmt.Fprintf(w, "%d trials; every column is mean ± 95%% CI\n", trials)
+			fmt.Fprintf(w, "%-18s %16s %20s %12s %18s\n", "policy", "delivery", "buf(msg·s)", "peak", "mean-buf(ms)")
 			for _, r := range rows {
-				fmt.Printf("%-18s %7.2f±%.2f%% %14.1f±%.1f %7.1f±%.1f %12.1f±%.1f\n",
+				fmt.Fprintf(w, "%-18s %7.2f±%.2f%% %14.1f±%.1f %7.1f±%.1f %12.1f±%.1f\n",
 					r.Policy,
 					100*r.DeliveryRatio.Mean, 100*r.DeliveryRatio.CI95,
 					r.BufferIntegral.Mean, r.BufferIntegral.CI95,
@@ -125,63 +128,63 @@ func run(fig string, runs int, seed uint64, trials, parallel int) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-18s %10s %14s %8s %12s\n", "policy", "delivery", "buf(msg·s)", "peak", "mean-buf(ms)")
+			fmt.Fprintf(w, "%-18s %10s %14s %8s %12s\n", "policy", "delivery", "buf(msg·s)", "peak", "mean-buf(ms)")
 			for _, r := range rows {
-				fmt.Printf("%-18s %9.2f%% %14.1f %8d %12.1f\n",
+				fmt.Fprintf(w, "%-18s %9.2f%% %14.1f %8d %12.1f\n",
 					r.Policy, 100*r.DeliveryRatio, r.BufferIntegral, r.PeakPerMember, r.MeanBufferingMs)
 			}
 		}
 	}
 	if want("A2") {
 		any = true
-		header("Ablation A2 — buffering load balance, RRMP vs tree repair server")
+		header(w, "Ablation A2 — buffering load balance, RRMP vs tree repair server")
 		rows, err := repro.AblationLoadBalance(seed)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-20s %12s %12s %10s %10s\n", "protocol", "mean(msg·s)", "max(msg·s)", "max/mean", "max-share")
+		fmt.Fprintf(w, "%-20s %12s %12s %10s %10s\n", "protocol", "mean(msg·s)", "max(msg·s)", "max/mean", "max-share")
 		for _, r := range rows {
-			fmt.Printf("%-20s %12.2f %12.2f %10.1f %9.0f%%\n",
+			fmt.Fprintf(w, "%-20s %12.2f %12.2f %10.1f %9.0f%%\n",
 				r.Protocol, r.MeanIntegral, r.MaxIntegral, r.Imbalance, 100*r.MaxShare)
 		}
 	}
 	if want("A3") {
 		any = true
-		header("Ablation A3 — search reply implosion (replies per remote request)")
+		header(w, "Ablation A3 — search reply implosion (replies per remote request)")
 		rows, err := repro.AblationSearchImplosion(or(10), seed)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-18s %10s %12s\n", "mode", "#holders", "replies")
+		fmt.Fprintf(w, "%-18s %10s %12s\n", "mode", "#holders", "replies")
 		for _, r := range rows {
-			fmt.Printf("%-18s %10d %12.1f\n", r.Mode, r.Holders, r.RepliesPerEpisode)
+			fmt.Fprintf(w, "%-18s %10d %12.1f\n", r.Mode, r.Holders, r.RepliesPerEpisode)
 		}
 	}
 	if want("A4") {
 		any = true
-		header("Ablation A4 — churn: graceful handoff vs crash of all bufferers")
+		header(w, "Ablation A4 — churn: graceful handoff vs crash of all bufferers")
 		rows, err := repro.AblationChurn(seed)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-18s %10s %14s %10s\n", "mode", "recovered", "recovery(ms)", "handoffs")
+		fmt.Fprintf(w, "%-18s %10s %14s %10s\n", "mode", "recovered", "recovery(ms)", "handoffs")
 		for _, r := range rows {
-			fmt.Printf("%-18s %10v %14.1f %10d\n", r.Mode, r.Recovered, r.RecoveryMs, r.Handoffs)
+			fmt.Fprintf(w, "%-18s %10v %14.1f %10d\n", r.Mode, r.Recovered, r.RecoveryMs, r.Handoffs)
 		}
 	}
 	if want("A5") {
 		any = true
-		header("Ablation A5 — remote recovery λ sweep (region-wide loss, 50 members)")
+		header(w, "Ablation A5 — remote recovery λ sweep (region-wide loss, 50 members)")
 		lambdas := []float64{0.5, 1, 2, 4, 8}
 		if trials > 1 {
 			rows, err := repro.AblationLambdaTrials(lambdas, or(10), opt)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%d trials; every column is mean ± 95%% CI\n", trials)
-			fmt.Printf("%8s %18s %18s\n", "lambda", "remote-reqs", "recovery(ms)")
+			fmt.Fprintf(w, "%d trials; every column is mean ± 95%% CI\n", trials)
+			fmt.Fprintf(w, "%8s %18s %18s\n", "lambda", "remote-reqs", "recovery(ms)")
 			for _, r := range rows {
-				fmt.Printf("%8.1f %12.1f±%.1f %12.1f±%.1f\n",
+				fmt.Fprintf(w, "%8.1f %12.1f±%.1f %12.1f±%.1f\n",
 					r.Lambda, r.RemoteRequests.Mean, r.RemoteRequests.CI95,
 					r.RecoveryMs.Mean, r.RecoveryMs.CI95)
 			}
@@ -190,22 +193,22 @@ func run(fig string, runs int, seed uint64, trials, parallel int) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%8s %14s %14s\n", "lambda", "remote-reqs", "recovery(ms)")
+			fmt.Fprintf(w, "%8s %14s %14s\n", "lambda", "remote-reqs", "recovery(ms)")
 			for _, r := range rows {
-				fmt.Printf("%8.1f %14.1f %14.1f\n", r.Lambda, r.RemoteRequests, r.RecoveryMs)
+				fmt.Fprintf(w, "%8.1f %14.1f %14.1f\n", r.Lambda, r.RemoteRequests, r.RecoveryMs)
 			}
 		}
 	}
 	if want("A6") {
 		any = true
-		header("Ablation A6 — control traffic: implicit feedback vs stability digests")
+		header(w, "Ablation A6 — control traffic: implicit feedback vs stability digests")
 		rows, err := repro.AblationStabilityTraffic(seed)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-22s %14s %14s %14s %10s\n", "scheme", "digest(B)", "control(B)", "buf(msg·s)", "delivery")
+		fmt.Fprintf(w, "%-22s %14s %14s %14s %10s\n", "scheme", "digest(B)", "control(B)", "buf(msg·s)", "delivery")
 		for _, r := range rows {
-			fmt.Printf("%-22s %14d %14d %14.1f %9.2f%%\n",
+			fmt.Fprintf(w, "%-22s %14d %14d %14.1f %9.2f%%\n",
 				r.Scheme, r.DigestBytes, r.ControlBytes, r.BufferIntegral, 100*r.DeliveryRatio)
 		}
 	}
@@ -215,29 +218,29 @@ func run(fig string, runs int, seed uint64, trials, parallel int) error {
 	return nil
 }
 
-func header(title string) {
-	fmt.Println()
-	fmt.Println(title)
-	fmt.Println(strings.Repeat("-", len(title)))
+func header(w io.Writer, title string) {
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("-", len(title)))
 }
 
 // printSeriesTable prints multiple series sharing an x axis.
-func printSeriesTable(xName string, series []repro.Series) {
-	fmt.Printf("%12s", xName)
+func printSeriesTable(w io.Writer, xName string, series []repro.Series) {
+	fmt.Fprintf(w, "%12s", xName)
 	for _, s := range series {
-		fmt.Printf(" %26s", s.Name)
+		fmt.Fprintf(w, " %26s", s.Name)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	if len(series) == 0 || len(series[0].X) == 0 {
 		return
 	}
 	for i := range series[0].X {
-		fmt.Printf("%12g", series[0].X[i])
+		fmt.Fprintf(w, "%12g", series[0].X[i])
 		for _, s := range series {
 			if i < len(s.Y) {
-				fmt.Printf(" %26.2f", s.Y[i])
+				fmt.Fprintf(w, " %26.2f", s.Y[i])
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }

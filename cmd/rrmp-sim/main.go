@@ -45,6 +45,7 @@ func main() {
 	var (
 		regions      = flag.String("regions", "100", "comma-separated region sizes (chain hierarchy)")
 		star         = flag.Bool("star", false, "attach all regions directly to the sender's region")
+		tree         = flag.String("tree", "", "balanced tree topology 'branch,levels,members' (overrides -regions)")
 		msgs         = flag.Int("msgs", 20, "messages to publish")
 		gap          = flag.Duration("gap", 20*time.Millisecond, "inter-message gap")
 		loss         = flag.Float64("loss", 0.2, "independent DATA loss probability")
@@ -63,11 +64,12 @@ func main() {
 		doTrace      = flag.Bool("trace", false, "stream protocol events to stderr (single-trial mode only)")
 		backoff      = flag.Duration("backoff", 0, "regional repair multicast back-off window (0 = immediate)")
 
-		sweep    = flag.Bool("sweep", false, "run the scenario matrix instead of a single scenario")
-		trials   = flag.Int("trials", 1, "independently seeded trials per scenario cell")
-		parallel = flag.Int("parallel", 0, "worker pool size for trials (0 = GOMAXPROCS)")
-		jsonOut  = flag.Bool("json", false, "print the sweep report as JSON instead of a table")
-		outPath  = flag.String("out", "", "also write the sweep report JSON here (default BENCH_sweep.json for a default-matrix -sweep; empty = don't)")
+		sweep      = flag.Bool("sweep", false, "run the scenario matrix instead of a single scenario")
+		sweepScale = flag.Bool("sweep-scale", false, "run the scale matrix (members×depth balanced trees) and record wall-clock + events/sec")
+		trials     = flag.Int("trials", 1, "independently seeded trials per scenario cell")
+		parallel   = flag.Int("parallel", 0, "worker pool size for trials (0 = GOMAXPROCS)")
+		jsonOut    = flag.Bool("json", false, "print the sweep report as JSON instead of a table")
+		outPath    = flag.String("out", "", "also write the sweep report JSON here (default BENCH_sweep.json for a default-matrix -sweep; empty = don't)")
 
 		swRegions    = flag.String("sweep-regions", "", "region vectors to sweep, e.g. '50;100;50,50' (default 50;100;30,30)")
 		swLosses     = flag.String("sweep-losses", "", "loss rates to sweep, e.g. '0.05,0.2' (default 0.05,0.2)")
@@ -75,6 +77,7 @@ func main() {
 		swCrashes    = flag.String("sweep-crashes", "", "crash rates to sweep, e.g. '0,1' (default 0,1)")
 		swPartitions = flag.String("sweep-partitions", "", "partition durations to sweep, e.g. '0,1s' (default 0,1s; 0 = no partition)")
 		swPolicies   = flag.String("sweep-policies", "", "policies to sweep, e.g. 'two-phase,fixed' (default two-phase,fixed)")
+		swTrees      = flag.String("sweep-trees", "", "tree shapes to sweep as 'branch:levels:members;...' (adds tree cells to -sweep; overrides the -sweep-scale grid)")
 	)
 	flag.Parse()
 
@@ -88,26 +91,37 @@ func main() {
 		switch f.Name {
 		case "out":
 			outSet = true
-		case "regions", "star", "burst", "msgs", "gap", "horizon", "hold",
+		case "regions", "star", "tree", "burst", "msgs", "gap", "horizon", "hold",
 			"c", "lambda", "backoff", "seed", "churn", "loss", "policy",
 			"crash", "crash-recover", "partition-at", "partition-for",
 			"sweep-regions", "sweep-losses", "sweep-churns", "sweep-crashes",
-			"sweep-partitions", "sweep-policies":
+			"sweep-partitions", "sweep-policies", "sweep-trees":
 			matrixCustomized = true
 		}
 	})
-	if !outSet && *sweep && !matrixCustomized {
+	if !outSet && *sweep && !*sweepScale && !matrixCustomized {
 		*outPath = "BENCH_sweep.json"
 	}
-	if outSet && *outPath != "" && !*sweep && *trials <= 1 {
-		fmt.Fprintln(os.Stderr, "rrmp-sim: -out only applies with -sweep or -trials > 1")
+	// The committed scale record is regenerated per PR (its wall-clock
+	// fields are the point), but a customized scale matrix must not
+	// clobber it either.
+	if !outSet && *sweepScale && !matrixCustomized {
+		*outPath = "BENCH_scale.json"
+	}
+	if outSet && *outPath != "" && !*sweep && !*sweepScale && *trials <= 1 {
+		fmt.Fprintln(os.Stderr, "rrmp-sim: -out only applies with -sweep, -sweep-scale or -trials > 1")
 		os.Exit(2)
 	}
 
 	var err error
-	if *sweep || *trials > 1 {
+	if *sweepScale {
+		err = runScale(scaleArgs{
+			trials: *trials, parallel: *parallel, seed: *seed,
+			json: *jsonOut, outPath: *outPath, swTrees: *swTrees,
+		})
+	} else if *sweep || *trials > 1 {
 		err = runSweep(sweepArgs{
-			sweep: *sweep, regionsCSV: *regions, star: *star, msgs: *msgs, gap: *gap,
+			sweep: *sweep, regionsCSV: *regions, star: *star, tree: *tree, msgs: *msgs, gap: *gap,
 			loss: *loss, burst: *burst, churn: *churn, c: *c, lambda: *lambda,
 			backoff: *backoff, policy: *policy, hold: *hold,
 			crash: *crash, crashRecover: *crashRecover,
@@ -116,10 +130,11 @@ func main() {
 			json: *jsonOut, outPath: *outPath,
 			swRegions: *swRegions, swLosses: *swLosses, swChurns: *swChurns,
 			swCrashes: *swCrashes, swPartitions: *swPartitions, swPolicies: *swPolicies,
+			swTrees: *swTrees,
 		})
 	} else {
 		err = run(singleArgs{
-			regionsCSV: *regions, star: *star, msgs: *msgs, gap: *gap,
+			regionsCSV: *regions, star: *star, tree: *tree, msgs: *msgs, gap: *gap,
 			loss: *loss, burst: *burst, churn: *churn, c: *c, lambda: *lambda,
 			policy: *policy, hold: *hold, seed: *seed, horizon: *horizon,
 			doTrace: *doTrace, backoff: *backoff,
@@ -159,6 +174,41 @@ func parseFloats(csv string) ([]float64, error) {
 	return out, nil
 }
 
+// parseTreeShape parses one 'branch,levels,members' (or colon-separated)
+// balanced-tree spec.
+func parseTreeShape(spec string) (repro.TreeShape, error) {
+	sep := ","
+	if strings.Contains(spec, ":") {
+		sep = ":"
+	}
+	parts := strings.Split(spec, sep)
+	if len(parts) != 3 {
+		return repro.TreeShape{}, fmt.Errorf("tree spec %q: want branch%slevels%smembers", spec, sep, sep)
+	}
+	var vals [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return repro.TreeShape{}, fmt.Errorf("tree spec %q: %w", spec, err)
+		}
+		vals[i] = v
+	}
+	return repro.TreeShape{Branch: vals[0], Levels: vals[1], Members: vals[2]}, nil
+}
+
+// parseTreeShapes parses a semicolon-separated list of tree specs.
+func parseTreeShapes(csv string) ([]repro.TreeShape, error) {
+	var out []repro.TreeShape
+	for _, spec := range strings.Split(csv, ";") {
+		t, err := parseTreeShape(strings.TrimSpace(spec))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
 // parseDurations parses a comma-separated duration list; a bare "0" is
 // allowed (no unit needed for the zero value).
 func parseDurations(csv string) ([]time.Duration, error) {
@@ -182,6 +232,7 @@ type sweepArgs struct {
 	sweep        bool
 	regionsCSV   string
 	star         bool
+	tree         string
 	msgs         int
 	gap          time.Duration
 	loss         float64
@@ -211,11 +262,23 @@ type sweepArgs struct {
 	swCrashes    string
 	swPartitions string
 	swPolicies   string
+	swTrees      string
 }
 
 // runSweep runs either the scenario matrix (-sweep) or a single-cell sweep
 // (-trials > 1 without -sweep) and reports per-cell aggregates.
 func runSweep(a sweepArgs) error {
+	// Single-cell modes partition only when -partition-at is set ("0 =
+	// never"); the axis encodes "none" as duration 0. An open-ended
+	// partition (-partition-at without -partition-for) runs to the horizon.
+	pf := time.Duration(0)
+	if a.partitionAt > 0 {
+		pf = a.partitionFor
+		if pf <= 0 {
+			pf = a.horizon
+		}
+	}
+
 	var sw repro.Sweep
 	if a.sweep {
 		sw = repro.DefaultSweep()
@@ -256,21 +319,31 @@ func runSweep(a sweepArgs) error {
 				sw.Policies = append(sw.Policies, strings.TrimSpace(p))
 			}
 		}
+		if a.swTrees != "" {
+			trees, err := parseTreeShapes(a.swTrees)
+			if err != nil {
+				return err
+			}
+			sw.Trees = trees
+		}
+	} else if a.tree != "" {
+		// Multi-trial statistics for one tree cell.
+		shape, err := parseTreeShape(a.tree)
+		if err != nil {
+			return err
+		}
+		sw = repro.Sweep{
+			Trees:      []repro.TreeShape{shape},
+			Losses:     []float64{a.loss},
+			Churns:     []float64{a.churn},
+			Crashes:    []float64{a.crash},
+			Partitions: []time.Duration{pf},
+			Policies:   []string{a.policy},
+		}
 	} else {
 		sizes, err := parseSizes(a.regionsCSV)
 		if err != nil {
 			return err
-		}
-		// Both single-run modes partition only when -partition-at is set
-		// ("0 = never"); the axis encodes "none" as duration 0. An
-		// open-ended partition (-partition-at without -partition-for)
-		// runs to the horizon.
-		pf := time.Duration(0)
-		if a.partitionAt > 0 {
-			pf = a.partitionFor
-			if pf <= 0 {
-				pf = a.horizon
-			}
 		}
 		sw = repro.Sweep{
 			Regions:    [][]int{sizes},
@@ -324,6 +397,77 @@ func runSweep(a sweepArgs) error {
 	return nil
 }
 
+// scaleArgs are the -sweep-scale mode's inputs.
+type scaleArgs struct {
+	trials   int
+	parallel int
+	seed     uint64
+	json     bool
+	outPath  string
+	swTrees  string
+	// quiet suppresses stdout reporting (in-process tests).
+	quiet bool
+}
+
+// runScale runs the members×depth scale matrix, timing every cell, and
+// writes the rrmp-scale/v1 report (BENCH_scale.json by default — the
+// committed perf-trajectory record every PR regenerates).
+func runScale(a scaleArgs) error {
+	sw := repro.ScaleSweep()
+	if a.swTrees != "" {
+		trees, err := parseTreeShapes(a.swTrees)
+		if err != nil {
+			return err
+		}
+		sw.Trees = trees
+	}
+	rep, err := repro.RunScale(repro.SweepOptions{
+		Trials:   a.trials,
+		Parallel: a.parallel,
+		BaseSeed: a.seed,
+	}, sw)
+	if err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	switch {
+	case a.quiet:
+	case a.json:
+		os.Stdout.Write(blob)
+	default:
+		printScaleReport(rep)
+	}
+	if a.outPath != "" {
+		if err := os.WriteFile(a.outPath, blob, 0o644); err != nil {
+			return fmt.Errorf("writing scale report: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "rrmp-sim: wrote %s (%d cells × %d trials)\n",
+			a.outPath, len(rep.Cells), rep.Trials)
+	}
+	return nil
+}
+
+// printScaleReport prints the scale table: per-cell delivery, recovery and
+// the machine cost columns the record tracks.
+func printScaleReport(rep repro.ScaleReport) {
+	fmt.Printf("scale: %d cells × %d trials (base seed %d)\n", len(rep.Cells), rep.Trials, rep.BaseSeed)
+	fmt.Printf("note: %s\n\n", rep.Note)
+	fmt.Printf("%-58s %8s %8s %6s %12s %14s %12s %12s\n",
+		"cell", "members", "regions", "depth", "delivery", "recovery(ms)", "wall(ms)", "events/s")
+	for _, cell := range rep.Cells {
+		fmt.Printf("%-58s %8d %8d %6d %12s %14s %12.0f %12.2g\n",
+			cell.Name, cell.Members, cell.Regions, cell.Depth,
+			meanCI(cell.Aggregate, "delivery_ratio", "%.3f"),
+			meanCI(cell.Aggregate, "mean_recovery_ms", "%.1f"),
+			cell.WallMsPerTrial, cell.EventsPerSec)
+	}
+}
+
 // printReport prints the human-readable sweep table: headline metrics as
 // mean ± 95% CI per cell.
 func printReport(rep repro.SweepReport) {
@@ -364,6 +508,7 @@ func meanOnly(agg repro.TrialAggregate, name, verb string) string {
 type singleArgs struct {
 	regionsCSV   string
 	star         bool
+	tree         string
 	msgs         int
 	gap          time.Duration
 	loss         float64
@@ -384,9 +529,12 @@ type singleArgs struct {
 }
 
 func run(a singleArgs) error {
-	sizes, err := parseSizes(a.regionsCSV)
-	if err != nil {
-		return err
+	var sizes []int
+	if a.tree == "" {
+		var err error
+		if sizes, err = parseSizes(a.regionsCSV); err != nil {
+			return err
+		}
 	}
 	msgs, gap, loss, seed, horizon := a.msgs, a.gap, a.loss, a.seed, a.horizon
 	churn, policyName := a.churn, a.policy
@@ -403,9 +551,16 @@ func run(a singleArgs) error {
 		repro.WithSeed(seed),
 		repro.WithParams(params),
 	}
-	if a.star {
+	switch {
+	case a.tree != "":
+		shape, err := parseTreeShape(a.tree)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, repro.WithTree(shape.Branch, shape.Levels, shape.Members))
+	case a.star:
 		opts = append(opts, repro.WithStar(sizes...))
-	} else {
+	default:
 		opts = append(opts, repro.WithRegions(sizes...))
 	}
 	if loss > 0 {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -82,6 +83,137 @@ func TestSweepReportByteIdenticalAcrossParallelism(t *testing.T) {
 	if crashCells == 0 || partCells == 0 {
 		t.Fatalf("default matrix has %d crash and %d partition cells; want both > 0",
 			crashCells, partCells)
+	}
+}
+
+// TestSweepReportMatchesGolden regenerates the pinned-seed miniature sweep
+// in-process and compares it byte-for-byte against the committed golden,
+// which was produced by the PR 2 engine *before* the hot-path rewrite
+// (pooled event queue, batched netsim fan-out, indexed buffer, bitset gap
+// tracking). Any divergence means the rewrite changed observable protocol
+// behaviour, not just its cost. Regenerate deliberately with:
+//
+//	go run ./cmd/rrmp-sim -sweep -sweep-regions '8;6,6' -trials 2 \
+//	    -seed 1 -out cmd/rrmp-sim/testdata/sweep_golden.json -json >/dev/null
+func TestSweepReportMatchesGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "sweep_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "sweep.json")
+	if err := runSweep(sweepArgs{
+		sweep:     true,
+		swRegions: "8;6,6",
+		// Flag defaults the CLI bakes into every sweep, spelled out because
+		// runSweep is invoked below flag parsing.
+		c: 6, lambda: 1, hold: 500 * time.Millisecond,
+		msgs: 20, gap: 20 * time.Millisecond, horizon: 5 * time.Second,
+		trials:   2,
+		parallel: 4,
+		seed:     1,
+		outPath:  out,
+		quiet:    true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Fatal("sweep report diverged from the pre-rewrite golden (testdata/sweep_golden.json); the hot-path rewrite must be behaviour-preserving")
+	}
+}
+
+// TestScaleAggregatesByteIdenticalAcrossParallelism runs the -sweep-scale
+// code path in-process on miniature tree cells at -parallel 1 and 8 and
+// asserts the deterministic part of the report — everything except the
+// machine-dependent wall_ms_per_trial / events_per_sec annotations — is
+// byte-identical, extending the sweep determinism contract to the new
+// scale cells.
+func TestScaleAggregatesByteIdenticalAcrossParallelism(t *testing.T) {
+	dir := t.TempDir()
+	report := func(parallel int) []byte {
+		t.Helper()
+		out := filepath.Join(dir, "scale.json")
+		if err := runScale(scaleArgs{
+			trials:   2,
+			parallel: parallel,
+			seed:     1,
+			outPath:  out,
+			swTrees:  "4:2:120;4:3:150",
+			quiet:    true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep repro.ScaleReport
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			t.Fatalf("scale report is not valid JSON: %v", err)
+		}
+		if rep.Schema != "rrmp-scale/v1" {
+			t.Fatalf("schema %q, want rrmp-scale/v1", rep.Schema)
+		}
+		for i := range rep.Cells {
+			if rep.Cells[i].Members == 0 || rep.Cells[i].Depth == 0 {
+				t.Fatalf("cell %q lacks topology annotations", rep.Cells[i].Name)
+			}
+			rep.Cells[i].WallMsPerTrial = 0
+			rep.Cells[i].EventsPerSec = 0
+		}
+		canon, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return canon
+	}
+
+	serial := report(1)
+	wide := report(8)
+	if !bytes.Equal(serial, wide) {
+		t.Fatal("scale aggregates differ between -parallel 1 and -parallel 8")
+	}
+}
+
+// TestTreeSingleRun drives the single-scenario mode on a depth-3 balanced
+// tree (the -tree flag's path through repro.WithTree).
+func TestTreeSingleRun(t *testing.T) {
+	err := run(singleArgs{
+		tree:    "3,3,130",
+		msgs:    5,
+		gap:     20e6,
+		loss:    0.1,
+		c:       4,
+		lambda:  1,
+		policy:  "two-phase",
+		seed:    2,
+		horizon: 2e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseTreeShapes covers both separators and the error paths.
+func TestParseTreeShapes(t *testing.T) {
+	got, err := parseTreeShapes("4:3:1000; 2:4:500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []repro.TreeShape{{Branch: 4, Levels: 3, Members: 1000}, {Branch: 2, Levels: 4, Members: 500}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("parseTreeShapes = %v", got)
+	}
+	if one, err := parseTreeShape("4,3,1000"); err != nil || one != want[0] {
+		t.Fatalf("parseTreeShape = %v, %v", one, err)
+	}
+	for _, bad := range []string{"4:3", "a:b:c", "4,3,1000,9"} {
+		if _, err := parseTreeShape(bad); err == nil {
+			t.Fatalf("tree spec %q accepted", bad)
+		}
 	}
 }
 

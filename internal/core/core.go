@@ -26,7 +26,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/clock"
@@ -102,6 +101,11 @@ type Entry struct {
 	PromotedAt time.Duration
 
 	timer clock.Timer // idle timer in short-term, TTL timer in long-term
+	// fire is the entry's timer callback, bound once at Store so re-arming
+	// the idle or TTL clock never allocates a new closure. It dispatches on
+	// State: short-term entries run the idle check, long-term ones the TTL
+	// check.
+	fire func()
 }
 
 // Config assembles a Buffer's dependencies.
@@ -116,14 +120,17 @@ type Config struct {
 	OnEvict func(e *Entry, reason EvictReason)
 	// OnPromote, if set, observes long-term elections.
 	OnPromote func(e *Entry)
+	// Index selects the entry-index implementation (default IndexDense;
+	// IndexLegacyMap exists for behaviour-equivalence tests).
+	Index IndexKind
 }
 
 // Buffer is the per-member message store managed by a buffering policy.
 // It is not safe for concurrent use; drive it from one goroutine (the
 // simulator loop or a member's executor).
 type Buffer struct {
-	cfg     Config
-	entries map[wire.MessageID]*Entry
+	cfg Config
+	idx entryIndex
 
 	occupancy stats.Occupancy // message-count step function over time
 	byteOcc   stats.Occupancy // payload-byte step function over time
@@ -143,59 +150,50 @@ func NewBuffer(cfg Config) *Buffer {
 	}
 	return &Buffer{
 		cfg:     cfg,
-		entries: make(map[wire.MessageID]*Entry),
+		idx:     newEntryIndex(cfg.Index),
 		evicted: make(map[EvictReason]int),
 	}
 }
 
 // Len returns the number of buffered entries (both phases).
-func (b *Buffer) Len() int { return len(b.entries) }
+func (b *Buffer) Len() int { return b.idx.size() }
 
 // LongTermCount returns the number of entries in the long-term phase.
 func (b *Buffer) LongTermCount() int { return b.longCount }
 
 // ShortTermCount returns the number of entries in the short-term phase.
-func (b *Buffer) ShortTermCount() int { return len(b.entries) - b.longCount }
+func (b *Buffer) ShortTermCount() int { return b.idx.size() - b.longCount }
 
 // EvictedCount returns how many entries have been evicted for the reason.
 func (b *Buffer) EvictedCount(r EvictReason) int { return b.evicted[r] }
 
 // Has reports whether id is currently buffered.
 func (b *Buffer) Has(id wire.MessageID) bool {
-	_, ok := b.entries[id]
+	_, ok := b.idx.get(id)
 	return ok
 }
 
 // Get returns the entry for id if buffered.
 func (b *Buffer) Get(id wire.MessageID) (*Entry, bool) {
-	e, ok := b.entries[id]
-	return e, ok
+	return b.idx.get(id)
 }
 
 // Entries returns a snapshot of all buffered entries in message-id order
 // (callers own the slice; the pointed-to entries remain live). The order is
 // deterministic because callers pair entries with rng draws — the leave
-// protocol picks a random handoff peer per entry — and map iteration order
-// would make those pairings differ between identically seeded runs.
+// protocol picks a random handoff peer per entry — and an unstable order
+// would make those pairings differ between identically seeded runs. The
+// dense index yields this order by construction; the legacy map index
+// sorts, exactly as before the rewrite.
 func (b *Buffer) Entries() []*Entry {
-	out := make([]*Entry, 0, len(b.entries))
-	for _, e := range b.entries {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].ID.Source != out[j].ID.Source {
-			return out[i].ID.Source < out[j].ID.Source
-		}
-		return out[i].ID.Seq < out[j].ID.Seq
-	})
-	return out
+	return b.idx.sorted(make([]*Entry, 0, b.idx.size()))
 }
 
 // Store buffers a message under the configured policy. Storing an
 // already-buffered id is a no-op returning the existing entry (duplicate
 // repairs are common under multicast). The returned entry is live.
 func (b *Buffer) Store(id wire.MessageID, payload []byte) *Entry {
-	if e, ok := b.entries[id]; ok {
+	if e, ok := b.idx.get(id); ok {
 		return e
 	}
 	now := b.cfg.Sched.Now()
@@ -206,13 +204,20 @@ func (b *Buffer) Store(id wire.MessageID, payload []byte) *Entry {
 		LastRequest: now,
 		State:       StateShortTerm,
 	}
-	b.entries[id] = e
+	e.fire = func() {
+		if e.State == StateLongTerm {
+			b.ttlCheck(e)
+		} else {
+			b.idleCheck(e)
+		}
+	}
+	b.idx.put(e)
 	b.bytes += len(e.Payload)
 	b.account(now)
 
 	hold, _ := b.cfg.Policy.Hold(id)
 	if hold > 0 {
-		e.timer = b.cfg.Sched.After(hold, func() { b.idleCheck(e) })
+		e.timer = b.cfg.Sched.After(hold, e.fire)
 	}
 	// hold == 0 means "never idles": retention until external removal
 	// (buffer-all / stability-detection baselines).
@@ -224,7 +229,7 @@ func (b *Buffer) Store(id wire.MessageID, payload []byte) *Entry {
 // already survived its idle phase at the giver. Duplicate ids keep the
 // existing entry but lift it to long-term if it was short-term.
 func (b *Buffer) StoreLongTerm(id wire.MessageID, payload []byte) *Entry {
-	if e, ok := b.entries[id]; ok {
+	if e, ok := b.idx.get(id); ok {
 		if e.State != StateLongTerm {
 			b.promote(e)
 		}
@@ -242,7 +247,7 @@ func (b *Buffer) StoreLongTerm(id wire.MessageID, payload []byte) *Entry {
 // re-arms the idle clock; for long-term entries it re-arms the TTL. It
 // returns false if id is not buffered.
 func (b *Buffer) OnRequest(id wire.MessageID) bool {
-	e, ok := b.entries[id]
+	e, ok := b.idx.get(id)
 	if !ok {
 		return false
 	}
@@ -253,7 +258,7 @@ func (b *Buffer) OnRequest(id wire.MessageID) bool {
 // Remove evicts id for an externally decided reason (stability detection,
 // manual trimming). It returns false if id was not buffered.
 func (b *Buffer) Remove(id wire.MessageID, reason EvictReason) bool {
-	e, ok := b.entries[id]
+	e, ok := b.idx.get(id)
 	if !ok {
 		return false
 	}
@@ -280,12 +285,12 @@ func (b *Buffer) TakeForHandoff() []*Entry {
 
 // Close stops all timers and drops all entries without eviction callbacks.
 func (b *Buffer) Close() {
-	for _, e := range b.entries {
+	b.idx.each(func(e *Entry) {
 		if e.timer != nil {
 			e.timer.Stop()
 		}
-	}
-	b.entries = make(map[wire.MessageID]*Entry)
+	})
+	b.idx.reset()
 	b.longCount = 0
 	b.bytes = 0
 	b.account(b.cfg.Sched.Now())
@@ -309,7 +314,7 @@ func (b *Buffer) PeakLen() int { return int(b.occupancy.Peak()) }
 // the meantime (feedback), re-arm; otherwise ask the policy for the
 // idle-time decision.
 func (b *Buffer) idleCheck(e *Entry) {
-	if b.entries[e.ID] != e {
+	if cur, ok := b.idx.get(e.ID); !ok || cur != e {
 		return // already evicted
 	}
 	now := b.cfg.Sched.Now()
@@ -319,8 +324,9 @@ func (b *Buffer) idleCheck(e *Entry) {
 		if quietFor < hold {
 			// A request arrived during the hold window: the message is not
 			// idle yet. Sleep exactly until the earliest instant it could
-			// become idle.
-			e.timer = b.cfg.Sched.After(hold-quietFor, func() { b.idleCheck(e) })
+			// become idle. Re-arming reuses the entry's bound callback —
+			// O(1), no closure allocation, however often feedback arrives.
+			e.timer = b.cfg.Sched.After(hold-quietFor, e.fire)
 			return
 		}
 	}
@@ -344,7 +350,7 @@ func (b *Buffer) promote(e *Entry) {
 	e.PromotedAt = b.cfg.Sched.Now()
 	b.longCount++
 	if ttl := b.cfg.Policy.LongTermTTL(); ttl > 0 {
-		e.timer = b.cfg.Sched.After(ttl, func() { b.ttlCheck(e) })
+		e.timer = b.cfg.Sched.After(ttl, e.fire)
 	}
 	if b.cfg.OnPromote != nil {
 		b.cfg.OnPromote(e)
@@ -355,14 +361,14 @@ func (b *Buffer) promote(e *Entry) {
 // ("eventually even a long-term bufferer may decide to discard an idle
 // message", §3.2). A use re-arms, mirroring the idle logic.
 func (b *Buffer) ttlCheck(e *Entry) {
-	if b.entries[e.ID] != e {
+	if cur, ok := b.idx.get(e.ID); !ok || cur != e {
 		return
 	}
 	now := b.cfg.Sched.Now()
 	ttl := b.cfg.Policy.LongTermTTL()
 	unusedFor := now - e.LastRequest
 	if unusedFor < ttl {
-		e.timer = b.cfg.Sched.After(ttl-unusedFor, func() { b.ttlCheck(e) })
+		e.timer = b.cfg.Sched.After(ttl-unusedFor, e.fire)
 		return
 	}
 	b.evict(e, EvictTTL)
@@ -373,7 +379,7 @@ func (b *Buffer) evict(e *Entry, reason EvictReason) {
 		e.timer.Stop()
 		e.timer = nil
 	}
-	delete(b.entries, e.ID)
+	b.idx.remove(e.ID)
 	b.bytes -= len(e.Payload)
 	if e.State == StateLongTerm {
 		b.longCount--
@@ -386,6 +392,6 @@ func (b *Buffer) evict(e *Entry, reason EvictReason) {
 }
 
 func (b *Buffer) account(now time.Duration) {
-	b.occupancy.Set(now, float64(len(b.entries)))
+	b.occupancy.Set(now, float64(b.idx.size()))
 	b.byteOcc.Set(now, float64(b.bytes))
 }

@@ -49,6 +49,42 @@ func BenchmarkTimerChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkSteadyStatePushPopFire is BenchmarkSteadyStatePushPop on the
+// pooled fast path the simulator's main loop actually runs: PopFire
+// recycles each fired event, so steady state allocates nothing.
+func BenchmarkSteadyStatePushPopFire(b *testing.B) {
+	r := rng.New(1)
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		q.Push(time.Duration(r.Intn(1_000_000)), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(time.Duration(r.Intn(1_000_000)), fn)
+		q.PopFire()
+	}
+}
+
+// BenchmarkTimerChurnCancel is the pooled cancel path protocol timers use:
+// push a timer event, cancel it through its generation-checked handle, and
+// let the pool hand the struct back to the next push.
+func BenchmarkTimerChurnCancel(b *testing.B) {
+	r := rng.New(1)
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		q.Push(time.Duration(r.Intn(1_000_000)), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.Push(time.Duration(r.Intn(1_000_000)), fn)
+		if !q.Cancel(e, e.Gen()) {
+			b.Fatal("failed to cancel a live event")
+		}
+	}
+}
+
 // BenchmarkDrain measures bulk ordered consumption: push 4096 random-time
 // events, pop all of them in order.
 func BenchmarkDrain(b *testing.B) {

@@ -11,6 +11,14 @@
 // the heap tracks element indices to support removal without lazy deletion,
 // keeping memory bounded even under heavy timer churn (every retransmission
 // timer in the protocol is cancelled when the awaited message arrives).
+//
+// Event structs are pooled: PopFire and Cancel return the fired/cancelled
+// event to a free list that the next Push reuses, so steady-state simulation
+// allocates no queue memory at all. Because a pooled handle may be reused
+// for a later event, long-lived holders (the simulator's timers) must
+// remember the Gen observed at Push time and cancel through Cancel, which
+// refuses a stale generation. The unpooled Pop/Remove pair remains for
+// callers that keep handles around.
 package eventq
 
 import "time"
@@ -23,26 +31,42 @@ type Event struct {
 
 	// index is the element's position in the heap, or -1 once removed.
 	index int
+	// gen increments every time the event struct is recycled into the
+	// pool, invalidating stale handles held by cancelled timers.
+	gen uint32
 }
 
 // At returns the virtual time the event is scheduled for.
 func (e *Event) At() time.Duration { return e.at }
+
+// Gen returns the event's current generation. A handle is only valid for
+// Cancel together with the generation read immediately after Push.
+func (e *Event) Gen() uint32 { return e.gen }
 
 // Queue is a min-heap of events ordered by (time, insertion sequence).
 // The zero value is ready to use. Queue is not safe for concurrent use.
 type Queue struct {
 	heap    []*Event
 	nextSeq uint64
+	free    []*Event
 }
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.heap) }
 
 // Push schedules fn to run at virtual time at and returns a handle that can
-// be passed to Remove. Scheduling in the past is allowed (the simulator
-// clamps, firing such events "now").
+// be passed to Remove or (with its Gen) Cancel. Scheduling in the past is
+// allowed (the simulator clamps, firing such events "now").
 func (q *Queue) Push(at time.Duration, fn func()) *Event {
-	e := &Event{at: at, seq: q.nextSeq, fn: fn, index: len(q.heap)}
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		e.at, e.seq, e.fn, e.index = at, q.nextSeq, fn, len(q.heap)
+	} else {
+		e = &Event{at: at, seq: q.nextSeq, fn: fn, index: len(q.heap)}
+	}
 	q.nextSeq++
 	q.heap = append(q.heap, e)
 	q.up(e.index)
@@ -58,6 +82,8 @@ func (q *Queue) Peek() *Event {
 }
 
 // Pop removes and returns the earliest event, or nil if the queue is empty.
+// The event is NOT recycled: the caller owns the handle indefinitely (tests
+// and diagnostics). Hot loops should use PopFire instead.
 func (q *Queue) Pop() *Event {
 	if len(q.heap) == 0 {
 		return nil
@@ -67,8 +93,24 @@ func (q *Queue) Pop() *Event {
 	return e
 }
 
+// PopFire removes the earliest event and returns its (time, callback),
+// recycling the event struct into the pool before the callback is exposed.
+// It returns ok=false on an empty queue. This is the simulator's main-loop
+// primitive: one event dispatch with zero allocation.
+func (q *Queue) PopFire() (at time.Duration, fn func(), ok bool) {
+	if len(q.heap) == 0 {
+		return 0, nil, false
+	}
+	e := q.heap[0]
+	at, fn = e.at, e.fn
+	q.removeAt(0)
+	q.recycle(e)
+	return at, fn, true
+}
+
 // Remove cancels a pending event. It returns false if the event already
-// fired or was removed. Passing nil is a no-op returning false.
+// fired or was removed. Passing nil is a no-op returning false. The event is
+// NOT recycled (the caller may hold the handle); pooled callers use Cancel.
 func (q *Queue) Remove(e *Event) bool {
 	if e == nil || e.index < 0 || e.index >= len(q.heap) || q.heap[e.index] != e {
 		return false
@@ -77,9 +119,35 @@ func (q *Queue) Remove(e *Event) bool {
 	return true
 }
 
+// Cancel removes a pending event if the handle's generation still matches,
+// recycling it into the pool. It returns false for a stale handle (the event
+// fired, was cancelled, and possibly reused since) — the guarantee timers
+// rely on: after a true Cancel the callback never runs, and a stale Stop
+// can never kill an unrelated event that happens to reuse the struct.
+func (q *Queue) Cancel(e *Event, gen uint32) bool {
+	if e == nil || e.gen != gen {
+		return false
+	}
+	if e.index < 0 || e.index >= len(q.heap) || q.heap[e.index] != e {
+		return false
+	}
+	q.removeAt(e.index)
+	q.recycle(e)
+	return true
+}
+
 // Fn returns the event callback. It remains valid after removal so the
 // simulator can invoke it after popping.
 func (e *Event) Fn() func() { return e.fn }
+
+// recycle invalidates all outstanding handles to e and returns it to the
+// free list. The callback reference is dropped so its closure can be GCed
+// while the struct waits for reuse.
+func (q *Queue) recycle(e *Event) {
+	e.gen++
+	e.fn = nil
+	q.free = append(q.free, e)
+}
 
 func (q *Queue) removeAt(i int) {
 	e := q.heap[i]

@@ -6,6 +6,23 @@ import (
 	"time"
 )
 
+// TreeShape describes a balanced multi-level recovery hierarchy: Levels
+// levels of regions, every inner region with Branch children, and Members
+// total group members spread evenly across the regions (remainder to the
+// regions nearest the root). It is the topology axis the scale experiments
+// sweep: hierarchy depth and fan-out dominate repair cost in deep trees, so
+// cells are named by (members, depth, branch) rather than region vectors.
+type TreeShape struct {
+	Branch  int `json:"branch"`
+	Levels  int `json:"levels"`
+	Members int `json:"members"`
+}
+
+// Token returns the shape's stable name token, e.g. "tree:b4d3m1000".
+func (t TreeShape) Token() string {
+	return fmt.Sprintf("tree:b%dd%dm%d", t.Branch, t.Levels, t.Members)
+}
+
 // Scenario is one fully specified cell of a sweep: topology, fault model,
 // churn, buffering policy, and workload. Durations marshal as nanoseconds.
 type Scenario struct {
@@ -14,6 +31,9 @@ type Scenario struct {
 	// Star attaches every region after the first directly to the sender's
 	// region (the paper's Figure 1 shape).
 	Star bool `json:"star,omitempty"`
+	// Tree, when non-nil, selects a balanced multi-level hierarchy instead
+	// of the Regions vector (which is then ignored).
+	Tree *TreeShape `json:"tree,omitempty"`
 	// Loss is the independent DATA loss probability (recovery traffic stays
 	// lossless, as in §4).
 	Loss float64 `json:"loss"`
@@ -57,16 +77,21 @@ type Scenario struct {
 
 // Name returns the cell's stable human-readable identifier.
 func (s Scenario) Name() string {
-	sizes := make([]string, len(s.Regions))
-	for i, n := range s.Regions {
-		sizes[i] = fmt.Sprint(n)
+	var topo string
+	if s.Tree != nil {
+		topo = s.Tree.Token()
+	} else {
+		sizes := make([]string, len(s.Regions))
+		for i, n := range s.Regions {
+			sizes[i] = fmt.Sprint(n)
+		}
+		shape := ""
+		if s.Star {
+			shape = "star:"
+		}
+		topo = shape + strings.Join(sizes, "+")
 	}
-	shape := ""
-	if s.Star {
-		shape = "star:"
-	}
-	name := fmt.Sprintf("regions=%s%s loss=%.2f churn=%.2g",
-		shape, strings.Join(sizes, "+"), s.Loss, s.Churn)
+	name := fmt.Sprintf("regions=%s loss=%.2f churn=%.2g", topo, s.Loss, s.Churn)
 	// Fault tokens appear only when the fault is present, so cells from
 	// crash-free sweeps keep their historical names.
 	if s.Crash > 0 {
@@ -92,8 +117,12 @@ func (s Scenario) Name() string {
 type Sweep struct {
 	// Regions lists the region-size vectors to sweep (default [[100]]).
 	Regions [][]int `json:"regions,omitempty"`
-	// Star applies to every cell (chain hierarchy otherwise).
+	// Star applies to every Regions cell (chain hierarchy otherwise).
 	Star bool `json:"star,omitempty"`
+	// Trees lists balanced multi-level hierarchies to sweep in addition to
+	// Regions. Tree cells expand after all Regions cells, so adding a tree
+	// axis never moves legacy cell positions.
+	Trees []TreeShape `json:"trees,omitempty"`
 	// Losses lists DATA loss probabilities (default [0]).
 	Losses []float64 `json:"losses,omitempty"`
 	// Burst applies to every lossy cell.
@@ -143,12 +172,38 @@ func DefaultSweep() Sweep {
 	}
 }
 
-// Expand returns the cartesian product in a fixed order: regions outermost,
-// then losses, churns, and policies innermost. The order is part of the
-// report schema — cells keep their position across runs.
+// ScaleSweep returns the standing scale matrix (rrmp-sim -sweep-scale): a
+// members × depth grid of balanced branch-4 trees under the default loss
+// rate, with and without churn. BENCH_scale.json tracks this matrix — and
+// with it the simulator's wall-clock and events/sec trajectory — across
+// PRs. Levels counts region levels, so levels L is hierarchy depth L-1
+// parent hops; the paper's deep-hierarchy regime starts at 3 levels.
+func ScaleSweep() Sweep {
+	return Sweep{
+		Trees: []TreeShape{
+			{Branch: 4, Levels: 2, Members: 1000},
+			{Branch: 4, Levels: 3, Members: 1000},
+			{Branch: 4, Levels: 4, Members: 1000},
+			{Branch: 4, Levels: 2, Members: 2000},
+			{Branch: 4, Levels: 3, Members: 2000},
+			{Branch: 4, Levels: 4, Members: 2000},
+			{Branch: 4, Levels: 2, Members: 5000},
+			{Branch: 4, Levels: 3, Members: 5000},
+			{Branch: 4, Levels: 4, Members: 5000},
+		},
+		Losses:   []float64{0.05},
+		Churns:   []float64{0, 1},
+		Policies: []string{"two-phase"},
+	}
+}
+
+// Expand returns the cartesian product in a fixed order: the topology axis
+// outermost (all Regions vectors, then all Trees), then losses, churns, and
+// policies innermost. The order is part of the report schema — cells keep
+// their position across runs.
 func (sw Sweep) Expand() []Scenario {
 	regions := sw.Regions
-	if len(regions) == 0 {
+	if len(regions) == 0 && len(sw.Trees) == 0 {
 		regions = [][]int{{100}}
 	}
 	losses := sw.Losses
@@ -193,17 +248,31 @@ func (sw Sweep) Expand() []Scenario {
 		partAt = horizon / 4
 	}
 
-	out := make([]Scenario, 0,
-		len(regions)*len(losses)*len(churns)*len(crashes)*len(partitions)*len(policies))
+	type topoCell struct {
+		regions []int
+		tree    *TreeShape
+	}
+	topos := make([]topoCell, 0, len(regions)+len(sw.Trees))
 	for _, r := range regions {
+		topos = append(topos, topoCell{regions: r})
+	}
+	for i := range sw.Trees {
+		t := sw.Trees[i]
+		topos = append(topos, topoCell{tree: &t})
+	}
+
+	out := make([]Scenario, 0,
+		len(topos)*len(losses)*len(churns)*len(crashes)*len(partitions)*len(policies))
+	for _, tc := range topos {
 		for _, l := range losses {
 			for _, ch := range churns {
 				for _, cr := range crashes {
 					for _, pd := range partitions {
 						for _, p := range policies {
 							sc := Scenario{
-								Regions:       append([]int(nil), r...),
-								Star:          sw.Star,
+								Regions:       append([]int(nil), tc.regions...),
+								Star:          sw.Star && tc.tree == nil,
+								Tree:          tc.tree,
 								Loss:          l,
 								Burst:         sw.Burst,
 								Churn:         ch,

@@ -73,3 +73,29 @@ func BenchmarkMulticastFanout(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(all)), "receivers")
 }
+
+// BenchmarkMulticastFanout1kDeep measures the scale target: a full
+// multicast to a 1008-member, depth-3 tree (branch 4, 21 regions), the
+// initial-dissemination cost every message in a 1k-member scenario pays.
+func BenchmarkMulticastFanout1kDeep(b *testing.B) {
+	topo, err := topology.BalancedTree(4, 3, 1008)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sim.New()
+	net := New(s, HierLatency{Topo: topo, IntraOneWay: 5 * time.Millisecond, InterOneWay: 50 * time.Millisecond}, nil)
+	var all []topology.NodeID
+	for r := 0; r < topo.NumRegions(); r++ {
+		for _, n := range topo.Members(topology.RegionID(r)) {
+			net.Register(n, func(Packet) {})
+			all = append(all, n)
+		}
+	}
+	msg := wire.Message{Type: wire.TypeData, From: topo.Sender(), ID: wire.MessageID{Source: topo.Sender(), Seq: 1}, Payload: make([]byte, 256)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Multicast(topo.Sender(), all, msg)
+		s.Run()
+	}
+	b.ReportMetric(float64(len(all)), "receivers")
+}

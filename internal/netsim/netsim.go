@@ -7,6 +7,13 @@
 // larger inter-region latency) and on which receivers the initial multicast
 // reaches; both are explicit models here. All randomness comes from
 // dedicated rng streams so runs are reproducible.
+//
+// The delivery path is engineered for 1000+-member fan-outs: per-node state
+// (handlers, crash flags, partition classes) lives in dense slices indexed
+// by NodeID, traffic counters are fixed per-type arrays, in-flight packets
+// are pooled delivery records with a pre-bound callback, and events are
+// scheduled through the scheduler's no-handle Post path when available.
+// Steady-state packet delivery therefore allocates nothing.
 package netsim
 
 import (
@@ -42,69 +49,72 @@ type LossModel interface {
 	Drop(from, to topology.NodeID, t wire.Type) bool
 }
 
+// poster is the optional scheduler fast path: schedule without returning a
+// cancellation handle (packet deliveries are never cancelled). The
+// simulator's *sim.Sim implements it; any other clock.Scheduler falls back
+// to After with the handle discarded.
+type poster interface {
+	Post(d time.Duration, fn func())
+}
+
 // Network delivers packets between registered nodes over a clock.Scheduler.
 type Network struct {
 	sched   clock.Scheduler
+	post    func(d time.Duration, fn func())
 	latency LatencyModel
 	loss    LossModel
 
-	handlers map[topology.NodeID]Handler
+	// handlers and down are dense, indexed by NodeID (IDs are dense by
+	// construction, see topology). Slices grow on Register/SetDown.
+	handlers []Handler
+	down     []bool
 	stats    Stats
-	down     map[topology.NodeID]bool
 	// partition assigns each node a partition class; packets between
-	// different classes vanish. nil means fully connected. Nodes absent
-	// from a non-nil map are class 0.
-	partition map[topology.NodeID]int
+	// different classes vanish. partActive gates the check so the
+	// partition-free hot path pays a single predictable branch. Nodes
+	// beyond the slice are class 0.
+	partition  []int32
+	partActive bool
+
+	// pool recycles delivery records; each carries a pre-bound callback so
+	// scheduling an in-flight packet allocates nothing in steady state.
+	pool []*delivery
 }
 
-// Stats aggregates traffic accounting per message type.
+// delivery is one in-flight packet. fire is bound once at construction and
+// reused for the record's whole pooled lifetime.
+type delivery struct {
+	n        *Network
+	from, to topology.NodeID
+	msg      wire.Message
+	size     int
+	fn       func()
+}
+
+// Stats aggregates traffic accounting per message type, stored as dense
+// per-type arrays (bump = one array index, no map hashing on the hot path).
 type Stats struct {
-	Sent      map[wire.Type]*stats.Counter
-	Delivered map[wire.Type]*stats.Counter
-	Dropped   map[wire.Type]*stats.Counter
-	Bytes     map[wire.Type]*stats.Counter
+	sent      [wire.TypeCount]stats.Counter
+	delivered [wire.TypeCount]stats.Counter
+	dropped   [wire.TypeCount]stats.Counter
+	bytes     [wire.TypeCount]stats.Counter
 	// Partitioned counts packets (all types) that vanished because their
 	// endpoints were in different partition classes; each is also counted
 	// in Dropped under its type.
 	Partitioned stats.Counter
 }
 
-func newStats() Stats {
-	return Stats{
-		Sent:      map[wire.Type]*stats.Counter{},
-		Delivered: map[wire.Type]*stats.Counter{},
-		Dropped:   map[wire.Type]*stats.Counter{},
-		Bytes:     map[wire.Type]*stats.Counter{},
-	}
-}
-
-func bump(m map[wire.Type]*stats.Counter, t wire.Type, d int64) {
-	c, ok := m[t]
-	if !ok {
-		c = &stats.Counter{}
-		m[t] = c
-	}
-	c.Add(d)
-}
-
-func value(m map[wire.Type]*stats.Counter, t wire.Type) int64 {
-	if c, ok := m[t]; ok {
-		return c.Value()
-	}
-	return 0
-}
-
 // SentCount returns packets offered for transmission of type t.
-func (s *Stats) SentCount(t wire.Type) int64 { return value(s.Sent, t) }
+func (s *Stats) SentCount(t wire.Type) int64 { return s.sent[int(t)%wire.TypeCount].Value() }
 
 // DeliveredCount returns packets delivered of type t.
-func (s *Stats) DeliveredCount(t wire.Type) int64 { return value(s.Delivered, t) }
+func (s *Stats) DeliveredCount(t wire.Type) int64 { return s.delivered[int(t)%wire.TypeCount].Value() }
 
 // DroppedCount returns packets dropped of type t.
-func (s *Stats) DroppedCount(t wire.Type) int64 { return value(s.Dropped, t) }
+func (s *Stats) DroppedCount(t wire.Type) int64 { return s.dropped[int(t)%wire.TypeCount].Value() }
 
 // BytesSent returns the bytes offered for transmission of type t.
-func (s *Stats) BytesSent(t wire.Type) int64 { return value(s.Bytes, t) }
+func (s *Stats) BytesSent(t wire.Type) int64 { return s.bytes[int(t)%wire.TypeCount].Value() }
 
 // PartitionDrops returns packets dropped by the partition cut.
 func (s *Stats) PartitionDrops() int64 { return s.Partitioned.Value() }
@@ -112,8 +122,8 @@ func (s *Stats) PartitionDrops() int64 { return s.Partitioned.Value() }
 // TotalSent returns packets offered across all types.
 func (s *Stats) TotalSent() int64 {
 	var n int64
-	for _, c := range s.Sent {
-		n += c.Value()
+	for i := range s.sent {
+		n += s.sent[i].Value()
 	}
 	return n
 }
@@ -121,8 +131,8 @@ func (s *Stats) TotalSent() int64 {
 // TotalBytes returns bytes offered across all types.
 func (s *Stats) TotalBytes() int64 {
 	var n int64
-	for _, c := range s.Bytes {
-		n += c.Value()
+	for i := range s.bytes {
+		n += s.bytes[i].Value()
 	}
 	return n
 }
@@ -136,13 +146,27 @@ func New(sched clock.Scheduler, latency LatencyModel, loss LossModel) *Network {
 	if loss == nil {
 		loss = NoLoss{}
 	}
-	return &Network{
-		sched:    sched,
-		latency:  latency,
-		loss:     loss,
-		handlers: make(map[topology.NodeID]Handler),
-		stats:    newStats(),
-		down:     make(map[topology.NodeID]bool),
+	n := &Network{
+		sched:   sched,
+		latency: latency,
+		loss:    loss,
+	}
+	if p, ok := sched.(poster); ok {
+		n.post = p.Post
+	} else {
+		n.post = func(d time.Duration, fn func()) { sched.After(d, fn) }
+	}
+	return n
+}
+
+// grow extends the dense per-node slices to cover node.
+func (n *Network) grow(node topology.NodeID) {
+	need := int(node) + 1
+	for len(n.handlers) < need {
+		n.handlers = append(n.handlers, nil)
+	}
+	for len(n.down) < need {
+		n.down = append(n.down, false)
 	}
 }
 
@@ -152,95 +176,153 @@ func (n *Network) Register(node topology.NodeID, h Handler) {
 	if h == nil {
 		panic(fmt.Sprintf("netsim: nil handler for node %d", node))
 	}
+	if node < 0 {
+		panic(fmt.Sprintf("netsim: Register with negative node %d", node))
+	}
+	n.grow(node)
 	n.handlers[node] = h
 }
 
 // SetDown marks a node as crashed: packets to and from it vanish. Used by
 // failure-injection tests and the churn experiments.
 func (n *Network) SetDown(node topology.NodeID, down bool) {
-	if down {
-		n.down[node] = true
-	} else {
-		delete(n.down, node)
+	if node < 0 {
+		return
 	}
+	n.grow(node)
+	n.down[node] = down
 }
 
 // IsDown reports whether the node is marked crashed.
-func (n *Network) IsDown(node topology.NodeID) bool { return n.down[node] }
+func (n *Network) IsDown(node topology.NodeID) bool {
+	return node >= 0 && int(node) < len(n.down) && n.down[node]
+}
+
+// isDown is the bounds-checked hot-path variant (inlined by the compiler).
+func (n *Network) isDown(node topology.NodeID) bool {
+	return int(node) < len(n.down) && n.down[node]
+}
 
 // SetPartition installs a network partition: every node is assigned the
 // class class[node] (absent nodes are class 0) and packets whose endpoints
 // lie in different classes are dropped, including packets already in
-// flight when the partition begins. The map is copied. Partition and heal
-// instants are ordinary scheduler events, so fault timelines are exactly
-// as deterministic as the rest of the simulation.
+// flight when the partition begins. The map is copied into a dense table.
+// Partition and heal instants are ordinary scheduler events, so fault
+// timelines are exactly as deterministic as the rest of the simulation.
 func (n *Network) SetPartition(class map[topology.NodeID]int) {
 	if len(class) == 0 {
-		n.partition = nil
+		n.partition, n.partActive = nil, false
 		return
 	}
-	cp := make(map[topology.NodeID]int, len(class))
-	for k, v := range class {
-		cp[k] = v
+	max := topology.NodeID(0)
+	for k := range class {
+		if k > max {
+			max = k
+		}
 	}
-	n.partition = cp
+	dense := make([]int32, int(max)+1)
+	for k, v := range class {
+		if k >= 0 {
+			dense[k] = int32(v)
+		}
+	}
+	n.partition, n.partActive = dense, true
 }
 
 // ClearPartition heals the partition: all nodes are reconnected.
-func (n *Network) ClearPartition() { n.partition = nil }
+func (n *Network) ClearPartition() { n.partition, n.partActive = nil, false }
+
+// classOf returns the node's partition class (0 beyond the table).
+func (n *Network) classOf(node topology.NodeID) int32 {
+	if node >= 0 && int(node) < len(n.partition) {
+		return n.partition[node]
+	}
+	return 0
+}
 
 // Partitioned reports whether a and b are currently in different
 // partition classes.
 func (n *Network) Partitioned(a, b topology.NodeID) bool {
-	if n.partition == nil {
+	if !n.partActive {
 		return false
 	}
-	return n.partition[a] != n.partition[b]
+	return n.classOf(a) != n.classOf(b)
 }
 
 // Stats returns the traffic counters (live view).
 func (n *Network) Stats() *Stats { return &n.stats }
 
+// getDelivery takes a pooled delivery record, or builds one with its
+// callback pre-bound.
+func (n *Network) getDelivery() *delivery {
+	if k := len(n.pool); k > 0 {
+		d := n.pool[k-1]
+		n.pool[k-1] = nil
+		n.pool = n.pool[:k-1]
+		return d
+	}
+	d := &delivery{n: n}
+	d.fn = d.fire
+	return d
+}
+
+// fire completes an in-flight packet: re-check liveness and connectivity at
+// delivery time (the node may have crashed, or a partition may have cut the
+// path, while the packet was in flight), then dispatch to the handler. The
+// record is returned to the pool before the handler runs, so a handler that
+// immediately sends (the common protocol pattern) reuses it.
+func (d *delivery) fire() {
+	n, from, to, msg, size := d.n, d.from, d.to, d.msg, d.size
+	d.msg = wire.Message{} // drop payload references while pooled
+	n.pool = append(n.pool, d)
+
+	ti := int(msg.Type) % wire.TypeCount
+	if n.partActive && n.classOf(from) != n.classOf(to) {
+		n.stats.Partitioned.Inc()
+		n.stats.dropped[ti].Inc()
+		return
+	}
+	if n.isDown(to) {
+		n.stats.dropped[ti].Inc()
+		return
+	}
+	var h Handler
+	if int(to) < len(n.handlers) {
+		h = n.handlers[to]
+	}
+	if h == nil {
+		n.stats.dropped[ti].Inc()
+		return
+	}
+	n.stats.delivered[ti].Inc()
+	h(Packet{From: from, To: to, Msg: msg, Size: size})
+}
+
 // Unicast sends msg from -> to, applying latency and loss models.
 func (n *Network) Unicast(from, to topology.NodeID, msg wire.Message) {
 	size := msg.EncodedSize()
-	bump(n.stats.Sent, msg.Type, 1)
-	bump(n.stats.Bytes, msg.Type, int64(size))
-	if n.Partitioned(from, to) {
+	ti := int(msg.Type) % wire.TypeCount
+	n.stats.sent[ti].Inc()
+	n.stats.bytes[ti].Add(int64(size))
+	if n.partActive && n.classOf(from) != n.classOf(to) {
 		n.stats.Partitioned.Inc()
-		bump(n.stats.Dropped, msg.Type, 1)
+		n.stats.dropped[ti].Inc()
 		return
 	}
-	if n.down[from] || n.down[to] || n.loss.Drop(from, to, msg.Type) {
-		bump(n.stats.Dropped, msg.Type, 1)
+	if n.isDown(from) || n.isDown(to) || n.loss.Drop(from, to, msg.Type) {
+		n.stats.dropped[ti].Inc()
 		return
 	}
-	d := n.latency.OneWay(from, to)
-	n.sched.After(d, func() {
-		// Re-check liveness and connectivity at delivery time: the node
-		// may have crashed, or a partition may have cut the path, while
-		// the packet was in flight.
-		if n.Partitioned(from, to) {
-			n.stats.Partitioned.Inc()
-			bump(n.stats.Dropped, msg.Type, 1)
-			return
-		}
-		if n.down[to] {
-			bump(n.stats.Dropped, msg.Type, 1)
-			return
-		}
-		h, ok := n.handlers[to]
-		if !ok {
-			bump(n.stats.Dropped, msg.Type, 1)
-			return
-		}
-		bump(n.stats.Delivered, msg.Type, 1)
-		h(Packet{From: from, To: to, Msg: msg, Size: size})
-	})
+	lat := n.latency.OneWay(from, to)
+	d := n.getDelivery()
+	d.from, d.to, d.msg, d.size = from, to, msg, size
+	n.post(lat, d.fn)
 }
 
 // Multicast sends msg from -> each target with independent latency and loss
 // draws, modeling IP multicast fan-out. Targets equal to from are skipped.
+// Loss and latency draws happen in target order, exactly as a loop of
+// Unicast calls would, so fan-out batching never changes a seeded run.
 func (n *Network) Multicast(from topology.NodeID, targets []topology.NodeID, msg wire.Message) {
 	for _, to := range targets {
 		if to == from {
@@ -334,7 +416,8 @@ var _ LatencyModel = UniformLatency{}
 // IntraOneWay within a region, and InterOneWay per hierarchy hop between
 // regions. With the paper's defaults (intra RTT 10 ms, so IntraOneWay 5 ms)
 // an adjacent-region one-way is InterOneWay, two hops costs twice that, and
-// so on.
+// so on. Hop counts come from the topology's precomputed region depths, so
+// the per-packet cost is a short ancestor walk, not a depth recomputation.
 type HierLatency struct {
 	Topo        *topology.Topology
 	IntraOneWay time.Duration

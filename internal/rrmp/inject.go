@@ -14,10 +14,10 @@ import "repro/internal/wire"
 // keeping injected states exactly as the experiment intends.
 func (m *Member) InjectDeliver(id wire.MessageID, payload []byte) {
 	st := m.source(id.Source)
-	if st.received[id.Seq] {
+	if st.has(id.Seq) {
 		return
 	}
-	st.received[id.Seq] = true
+	st.mark(id.Seq)
 	if id.Seq > st.maxSeen {
 		st.maxSeen = id.Seq
 	}
@@ -33,7 +33,7 @@ func (m *Member) InjectDeliver(id wire.MessageID, payload []byte) {
 // search experiments where exactly B members hold an idle message.
 func (m *Member) InjectLongTerm(id wire.MessageID, payload []byte) {
 	st := m.source(id.Source)
-	st.received[id.Seq] = true
+	st.mark(id.Seq)
 	if id.Seq > st.maxSeen {
 		st.maxSeen = id.Seq
 	}
@@ -45,7 +45,7 @@ func (m *Member) InjectLongTerm(id wire.MessageID, payload []byte) {
 // where the message "has become idle" at every non-bufferer.
 func (m *Member) InjectDiscarded(id wire.MessageID) {
 	st := m.source(id.Source)
-	st.received[id.Seq] = true
+	st.mark(id.Seq)
 	if id.Seq > st.maxSeen {
 		st.maxSeen = id.Seq
 	}

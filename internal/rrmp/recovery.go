@@ -50,7 +50,7 @@ func (m *Member) noteTop(src topology.NodeID, top uint64) {
 		return
 	}
 	for seq := st.maxSeen + 1; seq <= top; seq++ {
-		if !st.received[seq] {
+		if !st.has(seq) {
 			m.startRecovery(wire.MessageID{Source: src, Seq: seq})
 		}
 	}
@@ -76,7 +76,7 @@ func (m *Member) startRecovery(id wire.MessageID) {
 // startRecoveryTagged starts recovery, optionally marking the episode as a
 // post-crash re-recovery (Member.Recover sets rerecovery).
 func (m *Member) startRecoveryTagged(id wire.MessageID, rerecovery bool) {
-	if m.source(id.Source).received[id.Seq] {
+	if m.source(id.Source).has(id.Seq) {
 		return
 	}
 	if _, ok := m.recoveries[id]; ok {

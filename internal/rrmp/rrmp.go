@@ -76,14 +76,66 @@ type Config struct {
 	Tracer trace.Tracer
 	// Hooks are optional instrumentation callbacks.
 	Hooks Hooks
+	// BufferIndex selects the buffer's entry-index implementation (the
+	// default is the dense scale index; tests select the legacy map to
+	// prove the two are behaviourally identical).
+	BufferIndex core.IndexKind
 }
 
 // sourceState tracks per-sender reception: the highest sequence observed
 // and the set of sequences ever received (which outlives buffer eviction —
 // "received but discarded" is a distinct protocol state, §3.3).
+//
+// The received set is a bitset over sequence numbers rather than a map:
+// sequences are dense (senders count 1, 2, 3, ...), so membership is one
+// shift-and-mask, marking never hashes, and a member's whole reception
+// state for a 10k-message run is ~1.25 KB. The contiguous-prefix cursor is
+// cached and advanced incrementally — bits are never cleared, so the prefix
+// is monotone and each sequence is inspected at most once across all
+// Prefix calls instead of rescanning from the start-sequence every time.
 type sourceState struct {
-	maxSeen  uint64
-	received map[uint64]bool
+	maxSeen uint64
+	// base is the first sequence the bitset covers (64-aligned, fixed at
+	// the first mark); bit (seq-base) of bits[(seq-base)/64] is set iff
+	// seq was received.
+	base   uint64
+	bits   []uint64
+	marked bool
+	// prefix is the cached largest k with every sequence in (prefixStart,
+	// k] received; it only ever advances.
+	prefix uint64
+}
+
+// has reports whether seq was ever received.
+func (st *sourceState) has(seq uint64) bool {
+	if !st.marked || seq < st.base {
+		return false
+	}
+	i := seq - st.base
+	w := i >> 6
+	return w < uint64(len(st.bits)) && st.bits[w]&(1<<(i&63)) != 0
+}
+
+// mark records seq as received.
+func (st *sourceState) mark(seq uint64) {
+	if !st.marked {
+		st.base = seq &^ 63
+		st.marked = true
+	}
+	if seq < st.base {
+		// A sequence below the first-ever mark (late joiner probing old
+		// history): prepend words so the bitset still covers it.
+		shift := (st.base - seq + 63) >> 6
+		grown := make([]uint64, uint64(len(st.bits))+shift)
+		copy(grown[shift:], st.bits)
+		st.bits = grown
+		st.base -= shift << 6
+	}
+	i := seq - st.base
+	for uint64(len(st.bits)) <= i>>6 {
+		st.bits = append(st.bits, 0)
+	}
+	st.bits[i>>6] |= 1 << (i & 63)
 }
 
 // Member is one RRMP group member. Not safe for concurrent use; drive it
@@ -177,6 +229,7 @@ func NewMember(cfg Config) *Member {
 	m.buf = core.NewBuffer(core.Config{
 		Policy: policy,
 		Sched:  cfg.Sched,
+		Index:  cfg.BufferIndex,
 		Rng:    cfg.Rng.Split(0x6275666665726e67), // "bufferng": buffer's own stream
 		OnEvict: func(e *core.Entry, r core.EvictReason) {
 			if r != core.EvictHandoff {
@@ -267,7 +320,7 @@ func (m *Member) Left() bool { return m.left }
 // (it may since have been discarded from the buffer).
 func (m *Member) HasReceived(id wire.MessageID) bool {
 	st, ok := m.sources[id.Source]
-	return ok && st.received[id.Seq]
+	return ok && st.has(id.Seq)
 }
 
 // Prefix returns the contiguous received prefix for src: the largest k such
@@ -278,10 +331,14 @@ func (m *Member) Prefix(src topology.NodeID) uint64 {
 	if !ok {
 		return m.params.StartSeq
 	}
-	k := m.params.StartSeq
-	for st.received[k+1] {
+	k := st.prefix
+	if k < m.params.StartSeq {
+		k = m.params.StartSeq
+	}
+	for st.has(k + 1) {
 		k++
 	}
+	st.prefix = k
 	return k
 }
 
@@ -312,7 +369,7 @@ func (m *Member) SetSearchResolvedHook(fn func(id wire.MessageID, origin topolog
 func (m *Member) source(src topology.NodeID) *sourceState {
 	st, ok := m.sources[src]
 	if !ok {
-		st = &sourceState{maxSeen: m.params.StartSeq, received: make(map[uint64]bool)}
+		st = &sourceState{maxSeen: m.params.StartSeq, prefix: m.params.StartSeq}
 		m.sources[src] = st
 	}
 	return st
@@ -389,7 +446,7 @@ func (m *Member) onRemoteRequest(from topology.NodeID, msg wire.Message) {
 		return
 	}
 	st := m.source(id.Source)
-	if !st.received[id.Seq] {
+	if !st.has(id.Seq) {
 		// Never received: remember the requester and relay on receipt.
 		m.addWaiter(id, from)
 		if m.params.RecoverOnRemoteEvidence {
@@ -427,7 +484,7 @@ func (m *Member) onHandoff(_ topology.NodeID, msg wire.Message) {
 	m.metrics.HandoffsRecv.Inc()
 	id := msg.ID
 	st := m.source(id.Source)
-	if !st.received[id.Seq] {
+	if !st.has(id.Seq) {
 		// The transfer doubles as a delivery if we never had the message.
 		m.deliver(id, msg.Payload, msg.From)
 	}
@@ -440,11 +497,11 @@ func (m *Member) onHandoff(_ topology.NodeID, msg wire.Message) {
 // returns false for duplicates.
 func (m *Member) deliver(id wire.MessageID, payload []byte, from topology.NodeID) bool {
 	st := m.source(id.Source)
-	if st.received[id.Seq] {
+	if st.has(id.Seq) {
 		m.metrics.Duplicates.Inc()
 		return false
 	}
-	st.received[id.Seq] = true
+	st.mark(id.Seq)
 	now := m.cfg.Sched.Now()
 
 	m.buf.Store(id, payload)
@@ -653,7 +710,7 @@ func (m *Member) Recover() {
 	for _, src := range srcs {
 		st := m.sources[src]
 		for seq := m.params.StartSeq + 1; seq <= st.maxSeen; seq++ {
-			if !st.received[seq] {
+			if !st.has(seq) {
 				id := wire.MessageID{Source: src, Seq: seq}
 				if m.unrecovered[id] {
 					// A fresh retry budget: the message is back in

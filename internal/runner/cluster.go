@@ -44,6 +44,9 @@ type ClusterConfig struct {
 	Hooks func(n topology.NodeID) rrmp.Hooks
 	// Tracer observes all members (nil = none).
 	Tracer trace.Tracer
+	// BufferIndex selects every member's buffer index implementation
+	// (tests run the legacy map side by side with the dense default).
+	BufferIndex core.IndexKind
 }
 
 // Cluster is a fully wired simulated deployment.
@@ -96,14 +99,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			hooks = cfg.Hooks(n)
 		}
 		m := rrmp.NewMember(rrmp.Config{
-			View:      view,
-			Transport: &rrmp.NetTransport{Net: net, Self: n, Group: c.All},
-			Sched:     s,
-			Rng:       root.Split(uint64(n) + 1),
-			Params:    cfg.Params,
-			Policy:    policy,
-			Tracer:    cfg.Tracer,
-			Hooks:     hooks,
+			View:        view,
+			Transport:   &rrmp.NetTransport{Net: net, Self: n, Group: c.All},
+			Sched:       s,
+			Rng:         root.Split(uint64(n) + 1),
+			Params:      cfg.Params,
+			Policy:      policy,
+			Tracer:      cfg.Tracer,
+			Hooks:       hooks,
+			BufferIndex: cfg.BufferIndex,
 		})
 		c.Members[n] = m
 		member := m

@@ -87,15 +87,7 @@ func PartitionClasses(topo *topology.Topology) map[topology.NodeID]int {
 // function of (sc, seed), which is what makes sweep aggregates reproducible
 // at any parallelism.
 func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
-	var (
-		topo *topology.Topology
-		err  error
-	)
-	if sc.Star {
-		topo, err = topology.Star(sc.Regions...)
-	} else {
-		topo, err = topology.Chain(sc.Regions...)
-	}
+	topo, err := scenarioTopology(sc)
 	if err != nil {
 		return nil, fmt.Errorf("runner: scenario topology: %w", err)
 	}

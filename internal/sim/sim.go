@@ -43,14 +43,18 @@ func (s *Sim) Processed() uint64 { return s.processed }
 // Pending returns the number of scheduled events not yet executed.
 func (s *Sim) Pending() int { return s.queue.Len() }
 
-// timer adapts an eventq handle to clock.Timer.
+// timer adapts an eventq handle to clock.Timer. Events are pooled, so the
+// timer remembers the generation observed at Push time; a Stop after the
+// event fired (and the struct was reused for a later event) is a stale
+// handle that Cancel correctly refuses.
 type timer struct {
 	sim *Sim
 	ev  *eventq.Event
+	gen uint32
 }
 
 // Stop cancels the timer; see clock.Timer.
-func (t *timer) Stop() bool { return t.sim.queue.Remove(t.ev) }
+func (t *timer) Stop() bool { return t.sim.queue.Cancel(t.ev, t.gen) }
 
 var _ clock.Timer = (*timer)(nil)
 var _ clock.Scheduler = (*Sim)(nil)
@@ -65,7 +69,22 @@ func (s *Sim) After(d time.Duration, fn func()) clock.Timer {
 	if d < 0 {
 		d = 0
 	}
-	return &timer{sim: s, ev: s.queue.Push(s.now+d, fn)}
+	ev := s.queue.Push(s.now+d, fn)
+	return &timer{sim: s, ev: ev, gen: ev.Gen()}
+}
+
+// Post schedules fn like After but returns no cancellation handle, saving
+// the timer allocation. It exists for fire-and-forget events — the
+// simulated network's packet deliveries are never cancelled, and they
+// dominate event volume at scale.
+func (s *Sim) Post(d time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: Post with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.queue.Push(s.now+d, fn)
 }
 
 // At schedules fn at the absolute virtual time at, clamped to now.
@@ -76,15 +95,15 @@ func (s *Sim) At(at time.Duration, fn func()) clock.Timer {
 // Step executes the single earliest event. It returns false if no events
 // are pending.
 func (s *Sim) Step() bool {
-	ev := s.queue.Pop()
-	if ev == nil {
+	at, fn, ok := s.queue.PopFire()
+	if !ok {
 		return false
 	}
-	if ev.At() > s.now {
-		s.now = ev.At()
+	if at > s.now {
+		s.now = at
 	}
 	s.processed++
-	ev.Fn()()
+	fn()
 	return true
 }
 

@@ -39,7 +39,11 @@ type Region struct {
 type Topology struct {
 	regions  []Region
 	regionOf []RegionID
-	sender   NodeID
+	// depth[r] is the number of parent hops from region r to its root,
+	// precomputed at build time so hierarchy-distance queries on the
+	// per-packet latency path never re-derive it.
+	depth  []int32
+	sender NodeID
 }
 
 // errInvalid is wrapped by all validation failures.
@@ -75,6 +79,15 @@ func build(sizes []int, parentOf func(i int) RegionID) (*Topology, error) {
 	t.sender = t.regions[0].Members[0]
 	if err := t.validate(); err != nil {
 		return nil, err
+	}
+	// Depths are safe to derive only after validate has rejected cycles.
+	t.depth = make([]int32, len(t.regions))
+	for i := range t.regions {
+		d := int32(0)
+		for r := t.regions[i].Parent; r != NoRegion; r = t.regions[r].Parent {
+			d++
+		}
+		t.depth[i] = d
 	}
 	return t, nil
 }
@@ -129,6 +142,49 @@ func Tree(branch, levels, regionSize int) (*Topology, error) {
 	sizes := make([]int, count)
 	for i := range sizes {
 		sizes[i] = regionSize
+	}
+	return build(sizes, func(i int) RegionID {
+		if i == 0 {
+			return NoRegion
+		}
+		return RegionID((i - 1) / branch)
+	})
+}
+
+// BalancedTree returns a Tree(branch, levels, ·) hierarchy holding exactly
+// total members, spread as evenly as possible across the regions with the
+// remainder assigned to the regions nearest the root. It is the layout the
+// scale experiments use to hit exact member counts (1000, 5000, ...) on a
+// fixed tree shape; total must be at least the region count.
+func BalancedTree(branch, levels, total int) (*Topology, error) {
+	if branch < 1 || levels < 1 {
+		return nil, fmt.Errorf("%w: BalancedTree(branch=%d, levels=%d)", errInvalid, branch, levels)
+	}
+	count := 0
+	width := 1
+	for l := 0; l < levels; l++ {
+		// Every region needs >= 1 member, so the running region count may
+		// never exceed total. Checking before each addition also keeps the
+		// geometric width accumulation from overflowing int on absurd
+		// (branch, levels) inputs: width stays <= total at all times.
+		if width > total-count {
+			return nil, fmt.Errorf("%w: BalancedTree total %d < %d-level branch-%d region count", errInvalid, total, levels, branch)
+		}
+		count += width
+		if l+1 < levels {
+			if width > total/branch {
+				return nil, fmt.Errorf("%w: BalancedTree total %d < %d-level branch-%d region count", errInvalid, total, levels, branch)
+			}
+			width *= branch
+		}
+	}
+	sizes := make([]int, count)
+	base, rem := total/count, total%count
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
 	}
 	return build(sizes, func(i int) RegionID {
 		if i == 0 {
@@ -226,18 +282,24 @@ func (t *Topology) Members(r RegionID) []NodeID {
 // depths plus one. Latency models use this to scale inter-region delay.
 func (t *Topology) HierarchyDistance(a, b NodeID) int {
 	ra, rb := t.RegionOf(a), t.RegionOf(b)
+	return t.RegionDistance(ra, rb)
+}
+
+// RegionDistance returns the hierarchy distance between two regions (the
+// node-level HierarchyDistance of their members). Depths are precomputed,
+// so one call costs only the walk to the common ancestor — the per-packet
+// budget the latency models pay at 1000+-member scale.
+func (t *Topology) RegionDistance(ra, rb RegionID) int {
 	if ra == rb {
 		return 0
 	}
-	depth := func(r RegionID) int {
-		d := 0
-		for r != NoRegion {
-			r = t.regions[r].Parent
-			d++
-		}
-		return d
+	da, db := 0, 0
+	if ra >= 0 && int(ra) < len(t.depth) {
+		da = int(t.depth[ra])
 	}
-	da, db := depth(ra), depth(rb)
+	if rb >= 0 && int(rb) < len(t.depth) {
+		db = int(t.depth[rb])
+	}
 	x, y := ra, rb
 	dist := 0
 	for da > db {
@@ -259,6 +321,19 @@ func (t *Topology) HierarchyDistance(a, b NodeID) int {
 		dist += 2
 	}
 	return dist
+}
+
+// Depth returns the deepest region's distance from the root (0 for a
+// single-level topology). Scale experiments report it alongside member
+// counts.
+func (t *Topology) Depth() int {
+	max := int32(0)
+	for _, d := range t.depth {
+		if d > max {
+			max = d
+		}
+	}
+	return int(max)
 }
 
 // View is the partial membership knowledge one member has (paper §2.1):

@@ -53,6 +53,10 @@ const (
 	typeMax // sentinel for validation
 )
 
+// TypeCount is the number of defined message types plus the zero sentinel;
+// dense per-type tables (netsim's traffic counters) are sized by it.
+const TypeCount = int(typeMax)
+
 var typeNames = map[Type]string{
 	TypeData:          "DATA",
 	TypeSession:       "SESSION",
@@ -151,10 +155,15 @@ var (
 	ErrShortMessage = errors.New("wire: message truncated")
 	ErrBadType      = errors.New("wire: unknown message type")
 	ErrTrailing     = errors.New("wire: trailing bytes after message")
+	// ErrBadFlag rejects a boolean field encoded as anything but 0 or 1,
+	// keeping the codec canonical: every accepted input re-encodes to
+	// itself byte for byte (a property the decoder fuzz target enforces).
+	ErrBadFlag = errors.New("wire: non-canonical boolean flag")
 )
 
 // Unmarshal decodes a message previously produced by Marshal. It rejects
-// truncated input, unknown types, and trailing garbage.
+// truncated input, unknown types, non-canonical booleans, and trailing
+// garbage.
 func Unmarshal(b []byte) (Message, error) {
 	var m Message
 	r := reader{buf: b}
@@ -188,6 +197,9 @@ func Unmarshal(b []byte) (Message, error) {
 	lt, err := r.byte()
 	if err != nil {
 		return m, err
+	}
+	if lt > 1 {
+		return m, fmt.Errorf("%w: %d", ErrBadFlag, lt)
 	}
 	m.LongTerm = lt != 0
 	if m.Payload, err = r.bytes(); err != nil {

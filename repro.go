@@ -53,6 +53,8 @@ const (
 type config struct {
 	regionSizes []int
 	star        bool
+	tree        *topology.Topology
+	treeErr     error
 	seed        uint64
 	params      Params
 	lossP       float64
@@ -78,6 +80,22 @@ func WithRegions(sizes ...int) Option {
 // Figure 1 shape).
 func WithStar(sizes ...int) Option {
 	return func(c *config) { c.regionSizes = sizes; c.star = true }
+}
+
+// WithTree arranges members into a balanced multi-level hierarchy: levels
+// levels of regions, each inner region with branch children, and members
+// total group members spread evenly (the scale experiments' deep-tree
+// layout). An invalid shape surfaces as a NewGroup error.
+func WithTree(branch, levels, members int) Option {
+	return func(c *config) {
+		t, err := topology.BalancedTree(branch, levels, members)
+		if err != nil {
+			c.tree = nil
+			c.treeErr = err
+			return
+		}
+		c.tree, c.treeErr = t, nil
+	}
 }
 
 // WithSeed fixes the run's root random seed (default 1).
@@ -177,9 +195,14 @@ func NewGroup(opts ...Option) (*Group, error) {
 		topo *topology.Topology
 		err  error
 	)
-	if cfg.star {
+	switch {
+	case cfg.treeErr != nil:
+		err = cfg.treeErr
+	case cfg.tree != nil:
+		topo = cfg.tree
+	case cfg.star:
 		topo, err = topology.Star(cfg.regionSizes...)
-	} else {
+	default:
 		topo, err = topology.Chain(cfg.regionSizes...)
 	}
 	if err != nil {

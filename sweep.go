@@ -26,11 +26,29 @@ type (
 	PolicySummary = runner.PolicySummary
 	// LambdaSummary is a multi-trial A5 row.
 	LambdaSummary = runner.LambdaSummary
+	// TreeShape is a balanced multi-level hierarchy cell for sweeps
+	// (branch, levels, total members).
+	TreeShape = exp.TreeShape
+	// ScaleReport is a scale run's output (BENCH_scale.json's layout).
+	ScaleReport = runner.ScaleReport
+	// ScaleCell is one aggregated scale cell with wall-clock annotations.
+	ScaleCell = runner.ScaleCell
 )
 
 // DefaultSweep returns the standing benchmark matrix (the one
 // BENCH_sweep.json tracks across PRs).
 func DefaultSweep() Sweep { return exp.DefaultSweep() }
+
+// ScaleSweep returns the standing scale matrix: balanced trees over a
+// members × depth grid (the one BENCH_scale.json tracks across PRs).
+func ScaleSweep() Sweep { return exp.ScaleSweep() }
+
+// RunScale runs sw cell by cell, timing each cell, and returns the scale
+// report (deterministic aggregates plus machine-dependent wall-clock and
+// events/sec annotations).
+func RunScale(o SweepOptions, sw Sweep) (ScaleReport, error) {
+	return runner.RunScale(o, sw)
+}
 
 // RunSweep expands the sweep and runs every (cell, trial) pair across a
 // bounded worker pool. Aggregates are byte-identical at any Parallel
