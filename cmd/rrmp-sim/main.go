@@ -21,6 +21,13 @@
 //
 //	rrmp-sim -sweep -trials 8 -parallel 4 -json
 //	rrmp-sim -sweep -sweep-crashes 0,2 -sweep-partitions 0,1s -trials 4
+//	rrmp-sim -sweep -sweep-payloads 512,2048 -budget 16384 -trials 4
+//
+// Byte-accurate buffer accounting: -payload/-payload-model set the
+// per-message payload size (model: fixed|uniform|lognormal), -budget caps
+// each member's buffer in bytes with deterministic pressure eviction, and
+// engaged cells report buffer_integral_bytesec / peak_buffered_bytes /
+// pressure_evictions / budget_denials.
 //
 // The report is a pure function of (matrix, -trials, -seed): the same
 // seeds produce byte-identical aggregates at any -parallel width.
@@ -57,6 +64,9 @@ func main() {
 		partitionFor = flag.Duration("partition-for", 0, "partition duration before the heal event (0 = never heals)")
 		c            = flag.Float64("c", 6, "expected long-term bufferers per region (C)")
 		lambda       = flag.Float64("lambda", 1, "expected remote requests per regional loss (lambda)")
+		payload      = flag.Int("payload", 0, "payload bytes per message (0 = the historic 256)")
+		payloadModel = flag.String("payload-model", "", "payload size model: fixed|uniform|lognormal (sizes drawn around -payload)")
+		budget       = flag.Int("budget", 0, "per-member buffer byte budget (0 = unlimited)")
 		policy       = flag.String("policy", "two-phase", "buffering policy: two-phase|fixed|all|hash")
 		hold         = flag.Duration("hold", 500*time.Millisecond, "retention for -policy fixed")
 		seed         = flag.Uint64("seed", 1, "root random seed")
@@ -78,6 +88,8 @@ func main() {
 		swPartitions = flag.String("sweep-partitions", "", "partition durations to sweep, e.g. '0,1s' (default 0,1s; 0 = no partition)")
 		swPolicies   = flag.String("sweep-policies", "", "policies to sweep, e.g. 'two-phase,fixed' (default two-phase,fixed)")
 		swTrees      = flag.String("sweep-trees", "", "tree shapes to sweep as 'branch:levels:members;...' (adds tree cells to -sweep; overrides the -sweep-scale grid)")
+		swPayloads   = flag.String("sweep-payloads", "", "payload sizes to sweep, e.g. '0,1024' (default 0,1024; 0 = historic 256)")
+		swBudgets    = flag.String("sweep-budgets", "", "buffer byte budgets to sweep, e.g. '0,8192' (default 0,8192; 0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -94,8 +106,10 @@ func main() {
 		case "regions", "star", "tree", "burst", "msgs", "gap", "horizon", "hold",
 			"c", "lambda", "backoff", "seed", "churn", "loss", "policy",
 			"crash", "crash-recover", "partition-at", "partition-for",
+			"payload", "payload-model", "budget",
 			"sweep-regions", "sweep-losses", "sweep-churns", "sweep-crashes",
-			"sweep-partitions", "sweep-policies", "sweep-trees":
+			"sweep-partitions", "sweep-policies", "sweep-trees",
+			"sweep-payloads", "sweep-budgets":
 			matrixCustomized = true
 		}
 	})
@@ -126,11 +140,12 @@ func main() {
 			backoff: *backoff, policy: *policy, hold: *hold,
 			crash: *crash, crashRecover: *crashRecover,
 			partitionAt: *partitionAt, partitionFor: *partitionFor,
+			payload: *payload, payloadModel: *payloadModel, budget: *budget,
 			seed: *seed, horizon: *horizon, trials: *trials, parallel: *parallel,
 			json: *jsonOut, outPath: *outPath,
 			swRegions: *swRegions, swLosses: *swLosses, swChurns: *swChurns,
 			swCrashes: *swCrashes, swPartitions: *swPartitions, swPolicies: *swPolicies,
-			swTrees: *swTrees,
+			swTrees: *swTrees, swPayloads: *swPayloads, swBudgets: *swBudgets,
 		})
 	} else {
 		err = run(singleArgs{
@@ -140,6 +155,7 @@ func main() {
 			doTrace: *doTrace, backoff: *backoff,
 			crash: *crash, crashRecover: *crashRecover,
 			partitionAt: *partitionAt, partitionFor: *partitionFor,
+			payload: *payload, payloadModel: *payloadModel, budget: *budget,
 		})
 	}
 	if err != nil {
@@ -150,15 +166,29 @@ func main() {
 
 // parseSizes parses one comma-separated region-size vector.
 func parseSizes(csv string) ([]int, error) {
-	var sizes []int
+	sizes, err := parseInts(csv)
+	if err != nil {
+		return nil, fmt.Errorf("region sizes: %w", err)
+	}
+	return sizes, nil
+}
+
+// parseInts parses a comma-separated list of non-negative ints ("0"
+// entries allowed — both the region and byte axes use 0 as a meaningful
+// default, and neither has a legal negative value).
+func parseInts(csv string) ([]int, error) {
+	var out []int
 	for _, f := range strings.Split(csv, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			return nil, fmt.Errorf("parsing region sizes %q: %w", csv, err)
+			return nil, fmt.Errorf("parsing %q: %w", csv, err)
 		}
-		sizes = append(sizes, n)
+		if n < 0 {
+			return nil, fmt.Errorf("parsing %q: negative value %d", csv, n)
+		}
+		out = append(out, n)
 	}
-	return sizes, nil
+	return out, nil
 }
 
 // parseFloats parses a comma-separated float list.
@@ -247,6 +277,9 @@ type sweepArgs struct {
 	backoff      time.Duration
 	policy       string
 	hold         time.Duration
+	payload      int
+	payloadModel string
+	budget       int
 	seed         uint64
 	horizon      time.Duration
 	trials       int
@@ -263,11 +296,16 @@ type sweepArgs struct {
 	swPartitions string
 	swPolicies   string
 	swTrees      string
+	swPayloads   string
+	swBudgets    string
 }
 
 // runSweep runs either the scenario matrix (-sweep) or a single-cell sweep
 // (-trials > 1 without -sweep) and reports per-cell aggregates.
 func runSweep(a sweepArgs) error {
+	if a.payload < 0 || a.budget < 0 {
+		return fmt.Errorf("-payload and -budget must be non-negative (got %d, %d)", a.payload, a.budget)
+	}
 	// Single-cell modes partition only when -partition-at is set ("0 =
 	// never"); the axis encodes "none" as duration 0. An open-ended
 	// partition (-partition-at without -partition-for) runs to the horizon.
@@ -353,6 +391,30 @@ func runSweep(a sweepArgs) error {
 			Partitions: []time.Duration{pf},
 			Policies:   []string{a.policy},
 		}
+	}
+	// Byte axes: explicit -sweep-* lists win; otherwise a scalar -payload
+	// or -budget pins its axis to that one value, so `-sweep-payloads
+	// 512,2048 -budget 4096` reads as a payload axis × one fixed budget.
+	if a.swPayloads != "" {
+		v, err := parseInts(a.swPayloads)
+		if err != nil {
+			return err
+		}
+		sw.PayloadSizes = v
+	} else if a.payload > 0 {
+		sw.PayloadSizes = []int{a.payload}
+	}
+	if a.swBudgets != "" {
+		v, err := parseInts(a.swBudgets)
+		if err != nil {
+			return err
+		}
+		sw.Budgets = v
+	} else if a.budget > 0 {
+		sw.Budgets = []int{a.budget}
+	}
+	if a.payloadModel != "" && a.payloadModel != "fixed" {
+		sw.PayloadModel = a.payloadModel
 	}
 	sw.Star = a.star
 	sw.Burst = a.burst
@@ -472,15 +534,37 @@ func printScaleReport(rep repro.ScaleReport) {
 // mean ± 95% CI per cell.
 func printReport(rep repro.SweepReport) {
 	fmt.Printf("sweep: %d cells × %d trials (base seed %d)\n\n", len(rep.Cells), rep.Trials, rep.BaseSeed)
-	fmt.Printf("%-52s %16s %12s %16s %18s %14s\n",
-		"cell", "delivery", "min-reach", "recovery(ms)", "buffer(msg·s)", "packets")
+	// Byte columns appear only when some cell engages the byte axes, so
+	// purely legacy sweeps keep their historical table width.
+	bytesSwept := false
 	for _, cell := range rep.Cells {
-		fmt.Printf("%-52s %16s %12s %16s %18s %14s\n",
+		if _, ok := cell.Aggregate.Metric("buffer_integral_bytesec"); ok {
+			bytesSwept = true
+			break
+		}
+	}
+	byteCols := func(cell repro.SweepCell) string {
+		if !bytesSwept {
+			return ""
+		}
+		return fmt.Sprintf(" %18s %10s",
+			meanOnly(cell.Aggregate, "buffer_integral_bytesec", "%.0f"),
+			meanOnly(cell.Aggregate, "pressure_evictions", "%.0f"))
+	}
+	byteHeader := ""
+	if bytesSwept {
+		byteHeader = fmt.Sprintf(" %18s %10s", "buffer(B·s)", "pressure")
+	}
+	fmt.Printf("%-52s %16s %12s %16s %18s%s %14s\n",
+		"cell", "delivery", "min-reach", "recovery(ms)", "buffer(msg·s)", byteHeader, "packets")
+	for _, cell := range rep.Cells {
+		fmt.Printf("%-52s %16s %12s %16s %18s%s %14s\n",
 			cell.Name,
 			meanCI(cell.Aggregate, "delivery_ratio", "%.3f"),
 			meanOnly(cell.Aggregate, "min_reach_frac", "%.2f"),
 			meanCI(cell.Aggregate, "mean_recovery_ms", "%.1f"),
 			meanCI(cell.Aggregate, "buffer_integral_msgsec", "%.1f"),
+			byteCols(cell),
 			meanOnly(cell.Aggregate, "packets_sent", "%.0f"),
 		)
 	}
@@ -522,6 +606,9 @@ type singleArgs struct {
 	lambda       float64
 	policy       string
 	hold         time.Duration
+	payload      int
+	payloadModel string
+	budget       int
 	seed         uint64
 	horizon      time.Duration
 	doTrace      bool
@@ -529,6 +616,9 @@ type singleArgs struct {
 }
 
 func run(a singleArgs) error {
+	if a.payload < 0 || a.budget < 0 {
+		return fmt.Errorf("-payload and -budget must be non-negative (got %d, %d)", a.payload, a.budget)
+	}
 	var sizes []int
 	if a.tree == "" {
 		var err error
@@ -543,6 +633,7 @@ func run(a singleArgs) error {
 	params.C = a.c
 	params.Lambda = a.lambda
 	params.RepairBackoffMax = a.backoff
+	params.ByteBudget = a.budget
 	// Fault scenarios need the failure detector so recovery routes around
 	// dead members (same rule the sweep runner applies).
 	params.FDEnabled = a.crash > 0 || a.partitionAt > 0
@@ -591,10 +682,18 @@ func run(a singleArgs) error {
 		return err
 	}
 	g.StartSessions()
+	// One backing buffer serves every publish at its drawn size, exactly
+	// as the sweep runner does (fixed sizes draw no randomness, so legacy
+	// invocations replay identically).
+	paySizes, maxSize, err := runner.PayloadSizesFor(a.payloadModel, a.payload, msgs, seed)
+	if err != nil {
+		return err
+	}
+	payloadBuf := make([]byte, maxSize)
 	ids := make([]repro.MessageID, 0, msgs)
 	for i := 0; i < msgs; i++ {
 		i := i
-		g.At(time.Duration(i)*gap, func() { ids = append(ids, g.Publish(make([]byte, 256))) })
+		g.At(time.Duration(i)*gap, func() { ids = append(ids, g.Publish(payloadBuf[:paySizes[i]])) })
 	}
 
 	// Churn and crashes: Poisson-timed schedules of distinct random
@@ -697,6 +796,12 @@ func run(a singleArgs) error {
 	}
 	fmt.Printf("buffers:  %d entries live (%d long-term); %.1f msg·s total buffering cost\n",
 		s.BufferedEntries, s.LongTermEntries, s.BufferIntegral)
+	fmt.Printf("bytes:    %d B held (worst member peaked at %d B); %.1f B·s byte cost\n",
+		s.BufferedBytes, s.PeakBufferedBytes, s.ByteIntegral)
+	if a.budget > 0 {
+		fmt.Printf("budget:   %d B per member — %d pressure evictions, %d denials\n",
+			a.budget, s.PressureEvictions, s.BudgetDenials)
+	}
 	fmt.Printf("network:  %d packets, %d bytes offered\n", g.TotalPacketsSent(), g.TotalBytesSent())
 	return nil
 }

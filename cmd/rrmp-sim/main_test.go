@@ -59,7 +59,7 @@ func TestSweepReportByteIdenticalAcrossParallelism(t *testing.T) {
 		t.Fatalf("trials %d, want 2", rep.Trials)
 	}
 
-	crashCells, partCells := 0, 0
+	crashCells, partCells, byteCells, legacyCells := 0, 0, 0, 0
 	for _, cell := range rep.Cells {
 		if cell.Scenario.Crash > 0 {
 			crashCells++
@@ -79,10 +79,99 @@ func TestSweepReportByteIdenticalAcrossParallelism(t *testing.T) {
 				t.Fatalf("partition cell %q lacks a part token", cell.Name)
 			}
 		}
+		// Byte-axis cells carry the byte-currency keys; legacy cells must
+		// not (their key set is pinned by the golden report).
+		_, hasBytes := cell.Aggregate.Metric("buffer_integral_bytesec")
+		if cell.Scenario.PayloadBytes > 0 || cell.Scenario.ByteBudget > 0 {
+			byteCells++
+			if !hasBytes {
+				t.Fatalf("byte-axis cell %q reports no buffer_integral_bytesec", cell.Name)
+			}
+			if _, ok := cell.Aggregate.Metric("pressure_evictions"); !ok {
+				t.Fatalf("byte-axis cell %q reports no pressure_evictions", cell.Name)
+			}
+		} else {
+			legacyCells++
+			if hasBytes {
+				t.Fatalf("legacy cell %q leaked byte-currency keys", cell.Name)
+			}
+		}
 	}
 	if crashCells == 0 || partCells == 0 {
 		t.Fatalf("default matrix has %d crash and %d partition cells; want both > 0",
 			crashCells, partCells)
+	}
+	if legacyCells == 0 || byteCells != 3*legacyCells {
+		t.Fatalf("default matrix has %d legacy and %d byte-axis cells; want a 1:3 split",
+			legacyCells, byteCells)
+	}
+}
+
+// TestBudgetSweepPressureAndDeterminism is the byte-axis acceptance run: a
+// budget-constrained payload sweep must actually hit the budget (pressure
+// evictions > 0), keep survivor delivery ≥ 0.99 at a sane budget, and stay
+// byte-identical across -parallel 1 and 8.
+func TestBudgetSweepPressureAndDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	report := func(parallel int) []byte {
+		t.Helper()
+		out := filepath.Join(dir, "budget_sweep.json")
+		if err := runSweep(sweepArgs{
+			sweep:      true,
+			swRegions:  "8;6,6",
+			swPayloads: "512,1024",
+			budget:     16384,
+			c:          6, lambda: 1, hold: 500 * time.Millisecond,
+			msgs: 20, gap: 20 * time.Millisecond, horizon: 5 * time.Second,
+			trials:   2,
+			parallel: parallel,
+			seed:     1,
+			outPath:  out,
+			quiet:    true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	serial := report(1)
+	wide := report(8)
+	if !bytes.Equal(serial, wide) {
+		t.Fatal("budget sweep report bytes differ between -parallel 1 and -parallel 8")
+	}
+
+	var rep repro.SweepReport
+	if err := json.Unmarshal(serial, &rep); err != nil {
+		t.Fatal(err)
+	}
+	var pressure float64
+	for _, cell := range rep.Cells {
+		if cell.Scenario.ByteBudget != 16384 {
+			t.Fatalf("cell %q lost the scalar -budget", cell.Name)
+		}
+		if !strings.Contains(cell.Name, "payload=") || !strings.Contains(cell.Name, "budget=16384") {
+			t.Fatalf("cell %q lacks byte-axis tokens", cell.Name)
+		}
+		p, ok := cell.Aggregate.Metric("pressure_evictions")
+		if !ok {
+			t.Fatalf("cell %q reports no pressure_evictions", cell.Name)
+		}
+		pressure += p.Mean
+		sdr, ok := cell.Aggregate.Metric("survivor_delivery_ratio")
+		if !ok {
+			t.Fatalf("cell %q reports no survivor_delivery_ratio", cell.Name)
+		}
+		if sdr.Mean < 0.99 {
+			t.Fatalf("cell %q survivor delivery %.4f under a 16 KB budget, want >= 0.99",
+				cell.Name, sdr.Mean)
+		}
+	}
+	if pressure == 0 {
+		t.Fatal("no pressure evictions anywhere: the 16 KB budget never bound")
 	}
 }
 
@@ -90,10 +179,13 @@ func TestSweepReportByteIdenticalAcrossParallelism(t *testing.T) {
 // in-process and compares it byte-for-byte against the committed golden,
 // which was produced by the PR 2 engine *before* the hot-path rewrite
 // (pooled event queue, batched netsim fan-out, indexed buffer, bitset gap
-// tracking). Any divergence means the rewrite changed observable protocol
-// behaviour, not just its cost. Regenerate deliberately with:
+// tracking) and before the byte axes existed — so the sweep is pinned to
+// the legacy axes (payload 0, budget 0): with no budget set, every cell
+// must keep its pre-axis name, keys, and bytes. Regenerate deliberately
+// with:
 //
 //	go run ./cmd/rrmp-sim -sweep -sweep-regions '8;6,6' -trials 2 \
+//	    -sweep-payloads 0 -sweep-budgets 0 \
 //	    -seed 1 -out cmd/rrmp-sim/testdata/sweep_golden.json -json >/dev/null
 func TestSweepReportMatchesGolden(t *testing.T) {
 	golden, err := os.ReadFile(filepath.Join("testdata", "sweep_golden.json"))
@@ -102,8 +194,10 @@ func TestSweepReportMatchesGolden(t *testing.T) {
 	}
 	out := filepath.Join(t.TempDir(), "sweep.json")
 	if err := runSweep(sweepArgs{
-		sweep:     true,
-		swRegions: "8;6,6",
+		sweep:      true,
+		swRegions:  "8;6,6",
+		swPayloads: "0",
+		swBudgets:  "0",
 		// Flag defaults the CLI bakes into every sweep, spelled out because
 		// runSweep is invoked below flag parsing.
 		c: 6, lambda: 1, hold: 500 * time.Millisecond,
@@ -238,6 +332,53 @@ func TestSingleRunWithFaults(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSingleRunWithBudget drives the single-scenario mode end to end with
+// a lognormal payload model and a binding byte budget.
+func TestSingleRunWithBudget(t *testing.T) {
+	err := run(singleArgs{
+		regionsCSV:   "10",
+		msgs:         10,
+		gap:          20e6, // 20 ms
+		loss:         0.1,
+		c:            4,
+		lambda:       1,
+		policy:       "two-phase",
+		payload:      1024,
+		payloadModel: "lognormal",
+		budget:       4096,
+		seed:         5,
+		horizon:      3e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseInts covers the byte-axis list parser.
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("0, 1024,8192")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1024 || got[2] != 8192 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("12,x"); err == nil {
+		t.Fatal("bogus int accepted")
+	}
+	// A stray minus sign must error loudly, not silently run the cell as
+	// an unbudgeted legacy cell under a budget-looking flag line.
+	if _, err := parseInts("-8192"); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	if err := runSweep(sweepArgs{sweep: true, budget: -1, trials: 1}); err == nil {
+		t.Fatal("negative -budget accepted by runSweep")
+	}
+	if err := run(singleArgs{regionsCSV: "4", payload: -1, msgs: 1, gap: 1e6, horizon: 1e8, policy: "two-phase", c: 4, lambda: 1}); err == nil {
+		t.Fatal("negative -payload accepted by run")
 	}
 }
 

@@ -60,11 +60,12 @@ type EvictReason int
 
 // Eviction reasons.
 const (
-	EvictIdle    EvictReason = iota + 1 // idle and not elected long-term
-	EvictTTL                            // long-term copy aged out unused
-	EvictHandoff                        // transferred to a peer on leave
-	EvictStable                         // external stability notification
-	EvictManual                         // removed by caller
+	EvictIdle     EvictReason = iota + 1 // idle and not elected long-term
+	EvictTTL                             // long-term copy aged out unused
+	EvictHandoff                         // transferred to a peer on leave
+	EvictStable                          // external stability notification
+	EvictManual                          // removed by caller
+	EvictPressure                        // displaced to fit a newer message under Config.ByteBudget
 )
 
 // String implements fmt.Stringer.
@@ -80,6 +81,8 @@ func (r EvictReason) String() string {
 		return "stable"
 	case EvictManual:
 		return "manual"
+	case EvictPressure:
+		return "pressure"
 	default:
 		return fmt.Sprintf("EvictReason(%d)", int(r))
 	}
@@ -123,6 +126,21 @@ type Config struct {
 	// Index selects the entry-index implementation (default IndexDense;
 	// IndexLegacyMap exists for behaviour-equivalence tests).
 	Index IndexKind
+	// ByteBudget caps the summed payload bytes this buffer may hold; zero
+	// or negative means unlimited (the paper's model, where buffer cost is
+	// measured but never constrained). When a Store would exceed the
+	// budget, entries are pressure-evicted (EvictPressure) in a
+	// deterministic order — short-term entries longest-idle first, then
+	// long-term copies oldest-promoted first — until the new payload fits.
+	// A payload larger than the whole budget is denied outright: the store
+	// returns nil and the denial is counted, never silent.
+	ByteBudget int
+	// CopyPayload stores a private copy of each payload instead of
+	// aliasing the caller's slice. Simulated members all receive the
+	// sender's one payload slice, so without copies every replica aliases
+	// the same backing array; enable this when the caller may reuse or
+	// mutate payload buffers after publishing.
+	CopyPayload bool
 }
 
 // Buffer is the per-member message store managed by a buffering policy.
@@ -137,6 +155,7 @@ type Buffer struct {
 	bytes     int             // current payload bytes held
 	longCount int
 	evicted   map[EvictReason]int
+	denied    int // stores refused because the payload exceeds ByteBudget
 }
 
 // NewBuffer constructs an empty buffer. It panics on a missing policy or
@@ -192,9 +211,22 @@ func (b *Buffer) Entries() []*Entry {
 // Store buffers a message under the configured policy. Storing an
 // already-buffered id is a no-op returning the existing entry (duplicate
 // repairs are common under multicast). The returned entry is live.
+//
+// Under a ByteBudget, storing may pressure-evict older entries to make
+// room; if the payload cannot fit even into an empty buffer the store is
+// denied and Store returns nil (counted in DeniedCount). Callers treat a
+// denied store like any other absent entry: the message was delivered,
+// just not retained.
 func (b *Buffer) Store(id wire.MessageID, payload []byte) *Entry {
 	if e, ok := b.idx.get(id); ok {
 		return e
+	}
+	if !b.reserve(len(payload)) {
+		b.denied++
+		return nil
+	}
+	if b.cfg.CopyPayload && payload != nil {
+		payload = append([]byte(nil), payload...)
 	}
 	now := b.cfg.Sched.Now()
 	e := &Entry{
@@ -227,7 +259,8 @@ func (b *Buffer) Store(id wire.MessageID, payload []byte) *Entry {
 // StoreLongTerm buffers a message directly in the long-term phase. It is
 // used when receiving a handoff from a leaving peer: the transferred copy
 // already survived its idle phase at the giver. Duplicate ids keep the
-// existing entry but lift it to long-term if it was short-term.
+// existing entry but lift it to long-term if it was short-term. Like
+// Store, it returns nil when a ByteBudget denies the store.
 func (b *Buffer) StoreLongTerm(id wire.MessageID, payload []byte) *Entry {
 	if e, ok := b.idx.get(id); ok {
 		if e.State != StateLongTerm {
@@ -236,7 +269,7 @@ func (b *Buffer) StoreLongTerm(id wire.MessageID, payload []byte) *Entry {
 		return e
 	}
 	e := b.Store(id, payload)
-	if e.State != StateLongTerm {
+	if e != nil && e.State != StateLongTerm {
 		b.promote(e)
 	}
 	return e
@@ -309,6 +342,72 @@ func (b *Buffer) ByteOccupancyIntegral(now time.Duration) float64 {
 
 // PeakLen returns the highest entry count ever held.
 func (b *Buffer) PeakLen() int { return int(b.occupancy.Peak()) }
+
+// Bytes returns the payload bytes currently held.
+func (b *Buffer) Bytes() int { return b.bytes }
+
+// PeakBytes returns the highest payload-byte occupancy ever held.
+func (b *Buffer) PeakBytes() int { return int(b.byteOcc.Peak()) }
+
+// DeniedCount returns how many stores were refused because their payload
+// exceeded the whole ByteBudget. A denied message was still delivered to
+// the application; it just was never retained for repair.
+func (b *Buffer) DeniedCount() int { return b.denied }
+
+// reserve makes room for need payload bytes under the budget by pressure-
+// evicting entries in a deterministic order: short-term entries first,
+// longest-idle (oldest LastRequest) leading — they are the cheapest to
+// lose, since an idle-quiet region has the message — then long-term
+// copies, oldest-promoted first. Ties break on message id, so identically
+// seeded runs evict identically. It reports whether need now fits; false
+// (possible only when need alone exceeds the budget) means the caller
+// must deny the store. No-op without a budget.
+//
+// Each victim is found by a linear minimum scan rather than a sorted
+// snapshot: displacement usually removes one or two entries, so the scan
+// is O(victims × entries) with zero allocation, keeping budgeted cells on
+// the same no-garbage footing as the rest of the store path.
+func (b *Buffer) reserve(need int) bool {
+	if b.cfg.ByteBudget <= 0 || b.bytes+need <= b.cfg.ByteBudget {
+		return true
+	}
+	if need > b.cfg.ByteBudget {
+		return false
+	}
+	for b.bytes+need > b.cfg.ByteBudget {
+		var victim *Entry
+		b.idx.each(func(e *Entry) {
+			if victim == nil || displacedBefore(e, victim) {
+				victim = e
+			}
+		})
+		if victim == nil {
+			break // empty buffer; need fits by the check above
+		}
+		b.evict(victim, EvictPressure)
+	}
+	return b.bytes+need <= b.cfg.ByteBudget
+}
+
+// displacedBefore is the strict total displacement order pressure
+// eviction follows. A total order makes the minimum scan independent of
+// index iteration order, so both index implementations evict identically.
+func displacedBefore(a, c *Entry) bool {
+	if (a.State == StateLongTerm) != (c.State == StateLongTerm) {
+		return a.State != StateLongTerm
+	}
+	if a.State == StateLongTerm {
+		if a.PromotedAt != c.PromotedAt {
+			return a.PromotedAt < c.PromotedAt
+		}
+	} else if a.LastRequest != c.LastRequest {
+		return a.LastRequest < c.LastRequest
+	}
+	if a.ID.Source != c.ID.Source {
+		return a.ID.Source < c.ID.Source
+	}
+	return a.ID.Seq < c.ID.Seq
+}
 
 // idleCheck runs when an entry's idle timer fires: if a request arrived in
 // the meantime (feedback), re-arm; otherwise ask the policy for the

@@ -332,3 +332,90 @@ func TestDefaultSweepHasFaultAxes(t *testing.T) {
 		t.Fatal("default sweep has no multi-region vector for region-granular partitions")
 	}
 }
+
+func TestScenarioNameByteAxisTokens(t *testing.T) {
+	sc := Scenario{Regions: []int{50}, Loss: 0.05, Policy: "two-phase"}
+	base := sc.Name()
+	if strings.Contains(base, "payload=") || strings.Contains(base, "budget=") {
+		t.Fatalf("byte-axis tokens leaked into a pre-axis name %q", base)
+	}
+	sc.PayloadBytes = 1024
+	sc.ByteBudget = 8192
+	want := "regions=50 loss=0.05 churn=0 payload=1024 budget=8192 policy=two-phase"
+	if got := sc.Name(); got != want {
+		t.Fatalf("Name() = %q, want %q", got, want)
+	}
+	sc.PayloadModel = "lognormal"
+	if got := sc.Name(); !strings.Contains(got, "payload=lognormal:1024") {
+		t.Fatalf("model name %q lacks payload=lognormal:1024", got)
+	}
+	sc.PayloadBytes = 0
+	if got := sc.Name(); !strings.Contains(got, "payload=lognormal:256") {
+		t.Fatalf("model-only name %q should show the historic 256 mean", got)
+	}
+}
+
+// TestSweepExpansionByteAxesAppend pins the byte axes' expansion contract:
+// with the default (0, 0) combination leading, the legacy matrix comes
+// back cell for cell as a prefix and the payload×budget families append
+// after it.
+func TestSweepExpansionByteAxesAppend(t *testing.T) {
+	legacy := Sweep{
+		Regions:  [][]int{{8}, {6, 6}},
+		Losses:   []float64{0.05, 0.2},
+		Policies: []string{"two-phase", "fixed"},
+	}
+	augmented := legacy
+	augmented.PayloadSizes = []int{0, 1024}
+	augmented.Budgets = []int{0, 4096}
+
+	base := legacy.Expand()
+	cells := augmented.Expand()
+	if len(cells) != 4*len(base) {
+		t.Fatalf("augmented sweep has %d cells, want %d", len(cells), 4*len(base))
+	}
+	for i, want := range base {
+		if cells[i].Name() != want.Name() {
+			t.Fatalf("legacy cell %d moved: %q != %q", i, cells[i].Name(), want.Name())
+		}
+	}
+	// The appended families walk budgets innermost, payloads outermost.
+	wantCombos := []struct{ pb, bud int }{{0, 4096}, {1024, 0}, {1024, 4096}}
+	for f, combo := range wantCombos {
+		for i := 0; i < len(base); i++ {
+			c := cells[(f+1)*len(base)+i]
+			if c.PayloadBytes != combo.pb || c.ByteBudget != combo.bud {
+				t.Fatalf("family %d cell %d has payload=%d budget=%d, want %+v",
+					f, i, c.PayloadBytes, c.ByteBudget, combo)
+			}
+		}
+	}
+}
+
+func TestDefaultSweepHasByteAxes(t *testing.T) {
+	sw := DefaultSweep()
+	if len(sw.PayloadSizes) < 2 || len(sw.Budgets) < 2 {
+		t.Fatalf("default sweep lacks byte axes: payloads=%v budgets=%v", sw.PayloadSizes, sw.Budgets)
+	}
+	if sw.PayloadSizes[0] != 0 || sw.Budgets[0] != 0 {
+		t.Fatal("default byte combination must lead so legacy cells keep their positions")
+	}
+	cells := sw.Expand()
+	if len(cells) != 384 {
+		t.Fatalf("default matrix has %d cells, want 384", len(cells))
+	}
+	for i := 0; i < 96; i++ {
+		if cells[i].PayloadBytes != 0 || cells[i].ByteBudget != 0 {
+			t.Fatalf("legacy block cell %d engages the byte axes: %+v", i, cells[i])
+		}
+	}
+	pressure := 0
+	for _, c := range cells[96:] {
+		if c.ByteBudget > 0 && c.PayloadBytes > 0 {
+			pressure++
+		}
+	}
+	if pressure != 96 {
+		t.Fatalf("default matrix has %d genuine-pressure cells, want 96", pressure)
+	}
+}

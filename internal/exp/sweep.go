@@ -73,6 +73,18 @@ type Scenario struct {
 	Msgs    int           `json:"msgs"`
 	Gap     time.Duration `json:"gap_ns"`
 	Horizon time.Duration `json:"horizon_ns"`
+	// PayloadBytes is the per-message payload size in bytes (the mean,
+	// under a randomized PayloadModel). Zero keeps the historic fixed
+	// 256-byte payload every pre-axis experiment published.
+	PayloadBytes int `json:"payload_bytes,omitempty"`
+	// PayloadModel selects the payload-size model ("fixed" when empty;
+	// "uniform" and "lognormal" draw per-message sizes around
+	// PayloadBytes — see internal/workload's size models).
+	PayloadModel string `json:"payload_model,omitempty"`
+	// ByteBudget caps every member's buffer at this many payload bytes
+	// (rrmp.Params.ByteBudget): stores past the cap displace older
+	// entries, short-term first. Zero means unlimited.
+	ByteBudget int `json:"byte_budget,omitempty"`
 }
 
 // Name returns the cell's stable human-readable identifier.
@@ -106,6 +118,22 @@ func (s Scenario) Name() string {
 		} else {
 			name += fmt.Sprintf(" part=%v/open", s.PartitionAt)
 		}
+	}
+	// Payload and budget tokens appear only when the byte axes are
+	// engaged, so cells from pre-axis sweeps keep their historical names.
+	if s.PayloadBytes > 0 || s.PayloadModel != "" {
+		bytes := s.PayloadBytes
+		if bytes <= 0 {
+			bytes = 256
+		}
+		if s.PayloadModel != "" && s.PayloadModel != "fixed" {
+			name += fmt.Sprintf(" payload=%s:%d", s.PayloadModel, bytes)
+		} else {
+			name += fmt.Sprintf(" payload=%d", bytes)
+		}
+	}
+	if s.ByteBudget > 0 {
+		name += fmt.Sprintf(" budget=%d", s.ByteBudget)
 	}
 	return name + " policy=" + s.Policy
 }
@@ -154,21 +182,40 @@ type Sweep struct {
 	Msgs    int           `json:"msgs,omitempty"`
 	Gap     time.Duration `json:"gap_ns,omitempty"`
 	Horizon time.Duration `json:"horizon_ns,omitempty"`
+	// PayloadSizes lists payload sizes in bytes to sweep; 0 means the
+	// historic fixed 256 (default [0]). Together with Budgets this is the
+	// outermost expansion axis, defaults first, so appending non-default
+	// sizes to a matrix never moves its legacy cells.
+	PayloadSizes []int `json:"payload_sizes,omitempty"`
+	// PayloadModel applies to every cell ("fixed" when empty; "uniform"
+	// or "lognormal" draw per-message sizes around the cell's payload
+	// size).
+	PayloadModel string `json:"payload_model,omitempty"`
+	// Budgets lists per-member buffer byte budgets to sweep; 0 means
+	// unlimited (default [0]).
+	Budgets []int `json:"budgets,omitempty"`
 }
 
 // DefaultSweep returns the standing benchmark matrix rrmp-sim runs when no
 // dimensions are given: 3 topologies × 2 loss rates × 2 churn rates × 2
-// crash rates × 2 partition settings × 2 policies. The two-region vector
-// exists so partition cells cut along a region boundary. BENCH_sweep.json
-// tracks this matrix across PRs.
+// crash rates × 2 partition settings × 2 policies, crossed with the byte
+// axes' payload {historic 256, 1 KB} × budget {unlimited, 8 KB} family.
+// The default (0, 0) byte combination leads the expansion, so the first 96
+// cells are the historical matrix unchanged; the three non-default
+// combinations append the budget×payload family that prices buffering in
+// bytes (headroom, byte-visible, and genuine-pressure regimes). The
+// two-region vector exists so partition cells cut along a region boundary.
+// BENCH_sweep.json tracks this matrix across PRs.
 func DefaultSweep() Sweep {
 	return Sweep{
-		Regions:    [][]int{{50}, {100}, {30, 30}},
-		Losses:     []float64{0.05, 0.20},
-		Churns:     []float64{0, 1},
-		Crashes:    []float64{0, 1},
-		Partitions: []time.Duration{0, time.Second},
-		Policies:   []string{"two-phase", "fixed"},
+		Regions:      [][]int{{50}, {100}, {30, 30}},
+		Losses:       []float64{0.05, 0.20},
+		Churns:       []float64{0, 1},
+		Crashes:      []float64{0, 1},
+		Partitions:   []time.Duration{0, time.Second},
+		Policies:     []string{"two-phase", "fixed"},
+		PayloadSizes: []int{0, 1024},
+		Budgets:      []int{0, 8 * 1024},
 	}
 }
 
@@ -197,10 +244,12 @@ func ScaleSweep() Sweep {
 	}
 }
 
-// Expand returns the cartesian product in a fixed order: the topology axis
-// outermost (all Regions vectors, then all Trees), then losses, churns, and
-// policies innermost. The order is part of the report schema — cells keep
-// their position across runs.
+// Expand returns the cartesian product in a fixed order: payload sizes and
+// byte budgets outermost (so the default (0, 0) block — when present —
+// reproduces the pre-axis matrix cell for cell before any byte-axis family
+// follows), then the topology axis (all Regions vectors, then all Trees),
+// then losses, churns, and policies innermost. The order is part of the
+// report schema — cells keep their position across runs.
 func (sw Sweep) Expand() []Scenario {
 	regions := sw.Regions
 	if len(regions) == 0 && len(sw.Trees) == 0 {
@@ -247,6 +296,14 @@ func (sw Sweep) Expand() []Scenario {
 	if partAt <= 0 {
 		partAt = horizon / 4
 	}
+	payloads := sw.PayloadSizes
+	if len(payloads) == 0 {
+		payloads = []int{0}
+	}
+	budgets := sw.Budgets
+	if len(budgets) == 0 {
+		budgets = []int{0}
+	}
 
 	type topoCell struct {
 		regions []int
@@ -261,39 +318,46 @@ func (sw Sweep) Expand() []Scenario {
 		topos = append(topos, topoCell{tree: &t})
 	}
 
-	out := make([]Scenario, 0,
+	out := make([]Scenario, 0, len(payloads)*len(budgets)*
 		len(topos)*len(losses)*len(churns)*len(crashes)*len(partitions)*len(policies))
-	for _, tc := range topos {
-		for _, l := range losses {
-			for _, ch := range churns {
-				for _, cr := range crashes {
-					for _, pd := range partitions {
-						for _, p := range policies {
-							sc := Scenario{
-								Regions:       append([]int(nil), tc.regions...),
-								Star:          sw.Star && tc.tree == nil,
-								Tree:          tc.tree,
-								Loss:          l,
-								Burst:         sw.Burst,
-								Churn:         ch,
-								Crash:         cr,
-								Policy:        p,
-								FixedHold:     hold,
-								C:             sw.C,
-								Lambda:        sw.Lambda,
-								RepairBackoff: sw.RepairBackoff,
-								Msgs:          msgs,
-								Gap:           gap,
-								Horizon:       horizon,
+	for _, pb := range payloads {
+		for _, bud := range budgets {
+			for _, tc := range topos {
+				for _, l := range losses {
+					for _, ch := range churns {
+						for _, cr := range crashes {
+							for _, pd := range partitions {
+								for _, p := range policies {
+									sc := Scenario{
+										Regions:       append([]int(nil), tc.regions...),
+										Star:          sw.Star && tc.tree == nil,
+										Tree:          tc.tree,
+										Loss:          l,
+										Burst:         sw.Burst,
+										Churn:         ch,
+										Crash:         cr,
+										Policy:        p,
+										FixedHold:     hold,
+										C:             sw.C,
+										Lambda:        sw.Lambda,
+										RepairBackoff: sw.RepairBackoff,
+										Msgs:          msgs,
+										Gap:           gap,
+										Horizon:       horizon,
+										PayloadBytes:  pb,
+										PayloadModel:  sw.PayloadModel,
+										ByteBudget:    bud,
+									}
+									if cr > 0 {
+										sc.CrashRecover = sw.CrashRecover
+									}
+									if pd > 0 {
+										sc.PartitionAt = partAt
+										sc.PartitionDur = pd
+									}
+									out = append(out, sc)
+								}
 							}
-							if cr > 0 {
-								sc.CrashRecover = sw.CrashRecover
-							}
-							if pd > 0 {
-								sc.PartitionAt = partAt
-								sc.PartitionDur = pd
-							}
-							out = append(out, sc)
 						}
 					}
 				}

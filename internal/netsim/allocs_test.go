@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Allocation-regression guards for the delivery hot paths the PR 3 scale
+// rewrite brought to zero steady-state allocations (dense NodeID-indexed
+// handler tables, pooled delivery records, fixed counter arrays). A 200-
+// receiver multicast used to cost 796 allocs; these tests pin the floor at
+// zero so the win cannot silently erode.
+
+// allocNet builds the benchmark two-region network with no-op handlers.
+func allocNet(t *testing.T) (*sim.Sim, *Network, *topology.Topology, []topology.NodeID) {
+	t.Helper()
+	topo, err := topology.Chain(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	net := New(s, HierLatency{Topo: topo, IntraOneWay: 5 * time.Millisecond, InterOneWay: 50 * time.Millisecond}, nil)
+	var all []topology.NodeID
+	for r := 0; r < topo.NumRegions(); r++ {
+		for _, n := range topo.Members(topology.RegionID(r)) {
+			net.Register(n, func(Packet) {})
+			all = append(all, n)
+		}
+	}
+	return s, net, topo, all
+}
+
+// TestUnicastDeliverAllocs guards one unicast through to handler dispatch.
+func TestUnicastDeliverAllocs(t *testing.T) {
+	s, net, topo, _ := allocNet(t)
+	msg := wire.Message{Type: wire.TypeData, From: topo.Sender(),
+		ID: wire.MessageID{Source: topo.Sender(), Seq: 1}, Payload: make([]byte, 256)}
+	to := topo.MemberAt(0, 1)
+	for i := 0; i < 64; i++ { // warm the event and delivery pools
+		net.Unicast(topo.Sender(), to, msg)
+		s.Run()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		net.Unicast(topo.Sender(), to, msg)
+		s.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("unicast delivery allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestMulticastFanoutAllocs guards the initial-dissemination path: one full
+// 200-member multicast with per-receiver delivery events.
+func TestMulticastFanoutAllocs(t *testing.T) {
+	s, net, topo, all := allocNet(t)
+	msg := wire.Message{Type: wire.TypeData, From: topo.Sender(),
+		ID: wire.MessageID{Source: topo.Sender(), Seq: 1}, Payload: make([]byte, 256)}
+	for i := 0; i < 16; i++ { // warm the pools to fan-out depth
+		net.Multicast(topo.Sender(), all, msg)
+		s.Run()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		net.Multicast(topo.Sender(), all, msg)
+		s.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("200-receiver multicast allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -91,6 +91,16 @@ func (r *Source) Poisson(lambda float64) int {
 	return k
 }
 
+// NormFloat64 returns a standard normal draw (mean 0, stddev 1) via the
+// Box–Muller transform. Exactly two uniform draws are consumed per call,
+// so streams using it stay trivially reproducible.
+func (r *Source) NormFloat64() float64 {
+	// 1-Float64() is in (0,1], avoiding log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
 // Pick returns a uniformly random element index of a collection of size n,
 // excluding the index self (pass a negative self to exclude nothing). It
 // panics if no valid index exists.

@@ -78,6 +78,20 @@ type Params struct {
 	// merely records the waiter; a session message would trigger the same
 	// recovery moments later.
 	RecoverOnRemoteEvidence bool
+	// ByteBudget caps each member's buffer at this many payload bytes
+	// (core.Config.ByteBudget). Stores past the cap pressure-evict older
+	// entries — short-term longest-idle first, then oldest long-term
+	// copies — and a pressure-evicted message behaves like any other
+	// miss: recoverable via local repair or the §3.3 search, and counted
+	// in Metrics.Unrecoverable when every path fails, never silently
+	// lost. Zero means unlimited, the paper's unconstrained model.
+	ByteBudget int
+	// CopyOnStore makes each member's buffer keep a private copy of every
+	// payload instead of aliasing the received slice (core.Config.
+	// CopyPayload). The simulator hands all members the sender's one
+	// payload slice, so this is the knob for workloads that reuse or
+	// mutate publish buffers after the fact.
+	CopyOnStore bool
 	// FDEnabled attaches the region-scoped gossip failure detector
 	// (internal/gossipfd, paper reference [13]) to the member. Suspected
 	// peers are skipped when picking local-recovery, search and handoff

@@ -227,10 +227,12 @@ func NewMember(cfg Config) *Member {
 		m.locator = loc
 	}
 	m.buf = core.NewBuffer(core.Config{
-		Policy: policy,
-		Sched:  cfg.Sched,
-		Index:  cfg.BufferIndex,
-		Rng:    cfg.Rng.Split(0x6275666665726e67), // "bufferng": buffer's own stream
+		Policy:      policy,
+		Sched:       cfg.Sched,
+		Index:       cfg.BufferIndex,
+		ByteBudget:  m.params.ByteBudget,
+		CopyPayload: m.params.CopyOnStore,
+		Rng:         cfg.Rng.Split(0x6275666665726e67), // "bufferng": buffer's own stream
 		OnEvict: func(e *core.Entry, r core.EvictReason) {
 			if r != core.EvictHandoff {
 				m.metrics.BufferingTime.AddDuration(cfg.Sched.Now() - e.StoredAt)
@@ -530,13 +532,15 @@ func (m *Member) deliver(id wire.MessageID, payload []byte, from topology.NodeID
 		m.metrics.Unrecoverable.Add(-1)
 	}
 
-	// Relay to downstream members recorded as waiting (§2.2).
+	// Relay to downstream members recorded as waiting (§2.2). The repair
+	// is built from the in-hand payload, not the buffer: under a byte
+	// budget the store above may have been denied (or instantly
+	// displaced), and the waiters deserve the message either way.
 	if ws := m.waiters[id]; len(ws) > 0 {
 		delete(m.waiters, id)
-		e, _ := m.buf.Get(id)
 		for _, w := range ws {
 			m.metrics.WaiterRelays.Inc()
-			m.sendRepair(w, e)
+			m.sendRepairPayload(w, id, payload, false)
 		}
 	}
 
@@ -551,13 +555,19 @@ func (m *Member) deliver(id wire.MessageID, payload []byte, from topology.NodeID
 
 // sendRepair transmits a buffered entry to one peer.
 func (m *Member) sendRepair(to topology.NodeID, e *core.Entry) {
+	m.sendRepairPayload(to, e.ID, e.Payload, e.State == core.StateLongTerm)
+}
+
+// sendRepairPayload transmits a repair from an in-hand payload, for paths
+// where the message need not (or no longer) be buffered locally.
+func (m *Member) sendRepairPayload(to topology.NodeID, id wire.MessageID, payload []byte, longTerm bool) {
 	m.metrics.RepairsSent.Inc()
 	m.cfg.Transport.Send(to, wire.Message{
 		Type:     wire.TypeRepair,
 		From:     m.self,
-		ID:       e.ID,
-		Payload:  e.Payload,
-		LongTerm: e.State == core.StateLongTerm,
+		ID:       id,
+		Payload:  payload,
+		LongTerm: longTerm,
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/rrmp"
 	"repro/internal/topology"
 	"repro/internal/wire"
+	"repro/internal/workload"
 )
 
 // Churn and loss draw from dedicated streams split off the trial seed with
@@ -23,7 +24,35 @@ const (
 	// CrashStreamLabel derives the crash-fault stream, independent of the
 	// churn stream so adding crashes never perturbs the leave sequence.
 	CrashStreamLabel = 0xfeedc4a5
+	// PayloadStreamLabel derives the payload-size stream for randomized
+	// payload models. Fixed-size scenarios (including the historic
+	// 256-byte default) never touch it, so pre-axis runs replay
+	// byte-identically.
+	PayloadStreamLabel = 0xfeed9a7d
 )
+
+// PayloadSizesFor draws the n per-publish payload sizes for a scenario's
+// size model around the mean (0 = the historic 256 bytes). The second
+// result is the largest drawn size, so drivers can serve every publish
+// from one shared backing buffer instead of allocating per message.
+func PayloadSizesFor(model string, mean, n int, seed uint64) ([]int, int, error) {
+	m, err := workload.NewSizeModel(model, mean)
+	if err != nil {
+		return nil, 0, err
+	}
+	var r *rng.Source
+	if !workload.Deterministic(m) {
+		r = rng.New(seed).Split(PayloadStreamLabel)
+	}
+	sizes := workload.Sizes(m, n, r)
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return sizes, max, nil
+}
 
 // ScheduleChurn draws Poisson-timed events on distinct random candidates
 // at the given rate (events/second) until the horizon, invoking schedule
@@ -144,6 +173,7 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 	// recovery routes around dead members; fault-free cells keep the
 	// detector (and its traffic) off and stay comparable to old runs.
 	params.FDEnabled = sc.Crash > 0 || sc.PartitionAt > 0
+	params.ByteBudget = sc.ByteBudget
 	c, err := NewCluster(ClusterConfig{
 		Topo:   topo,
 		Params: params,
@@ -155,12 +185,22 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		return nil, fmt.Errorf("runner: scenario cluster: %w", err)
 	}
 
+	sizes, maxSize, err := PayloadSizesFor(sc.PayloadModel, sc.PayloadBytes, sc.Msgs, seed)
+	if err != nil {
+		return nil, fmt.Errorf("runner: scenario payload model: %w", err)
+	}
 	c.Sender.StartSessions()
 	ids := make([]wire.MessageID, 0, sc.Msgs)
+	// One backing buffer serves every publish — each message is the
+	// prefix of its drawn size, so steady-state publishing allocates
+	// nothing. Every member's buffer entry aliases this slice; the
+	// engine never mutates payloads (pinned by a property test), and
+	// Params.CopyOnStore exists for callers that must.
+	payloadBuf := make([]byte, maxSize)
 	for i := 0; i < sc.Msgs; i++ {
 		i := i
 		c.Sim.At(time.Duration(i)*sc.Gap, func() {
-			ids = append(ids, c.Sender.Publish(make([]byte, 256)))
+			ids = append(ids, c.Sender.Publish(payloadBuf[:sizes[i]]))
 		})
 	}
 
@@ -241,8 +281,9 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 	}
 	var delivered, duplicates, localReq, remoteReq, repairs, regional, handoffs int64
 	var searches, searchFailures, suspects, unrecoverable int64
-	var bufferIntegral float64
-	var peak, longTerm, survivors int
+	var bufferIntegral, byteIntegral float64
+	var peak, peakBytes, longTerm, survivors int
+	var pressureEvictions, budgetDenials int
 	var recSum, recN, bufSum, bufN, rerecSum, rerecN float64
 	for _, m := range c.Members {
 		mm := m.Metrics()
@@ -257,9 +298,15 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		searchFailures += mm.SearchFailures.Value()
 		suspects += mm.Suspects.Value()
 		bufferIntegral += m.Buffer().OccupancyIntegral(c.Sim.Now())
+		byteIntegral += m.Buffer().ByteOccupancyIntegral(c.Sim.Now())
 		if p := m.Buffer().PeakLen(); p > peak {
 			peak = p
 		}
+		if p := m.Buffer().PeakBytes(); p > peakBytes {
+			peakBytes = p
+		}
+		pressureEvictions += m.Buffer().EvictedCount(core.EvictPressure)
+		budgetDenials += m.Buffer().DeniedCount()
 		longTerm += m.Buffer().LongTermCount()
 		recSum += mm.RecoveryLatency.Mean() * float64(mm.RecoveryLatency.N())
 		recN += float64(mm.RecoveryLatency.N())
@@ -316,6 +363,17 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 	out["buffer_integral_msgsec"] = bufferIntegral
 	out["peak_buffered"] = float64(peak)
 	out["long_term_entries"] = float64(longTerm)
+	// The byte-currency keys appear only in cells that engage the payload
+	// or budget axes: pre-axis cells must keep the exact key set the
+	// committed golden reports pin byte for byte. (Their values are
+	// computed either way; for a 256-byte fixed payload they are just the
+	// message metrics × 256.)
+	if sc.PayloadBytes > 0 || sc.ByteBudget > 0 || sc.PayloadModel != "" {
+		out["buffer_integral_bytesec"] = byteIntegral
+		out["peak_buffered_bytes"] = float64(peakBytes)
+		out["pressure_evictions"] = float64(pressureEvictions)
+		out["budget_denials"] = float64(budgetDenials)
+	}
 	out["crashes"] = float64(crashes)
 	out["suspects"] = float64(suspects)
 	out["unrecoverable"] = float64(unrecoverable)

@@ -145,6 +145,22 @@ func WithTracer(t trace.Tracer) Option {
 	return func(c *config) { c.tracer = t }
 }
 
+// WithByteBudget caps every member's buffer at n payload bytes
+// (Params.ByteBudget): stores past the cap displace older entries —
+// short-term longest-idle first, then oldest long-term copies — and a
+// displaced message recovers like any other miss, or is counted
+// unrecoverable, never silently lost. Zero keeps buffers unlimited.
+func WithByteBudget(n int) Option {
+	return func(c *config) { c.params.ByteBudget = n }
+}
+
+// WithCopyOnStore makes every member's buffer snapshot payload bytes at
+// store time instead of aliasing the received slice, for applications
+// that reuse or mutate publish buffers (Params.CopyOnStore).
+func WithCopyOnStore() Option {
+	return func(c *config) { c.params.CopyOnStore = true }
+}
+
 // WithFailureDetector attaches the region-scoped gossip failure detector
 // to every member, so recovery and search traffic routes around crashed
 // peers (see Params.FDEnabled). Crash and partition scenarios want this;
@@ -371,6 +387,19 @@ type GroupStats struct {
 	BufferedEntries int
 	// BufferIntegral is total message-seconds of buffering paid so far.
 	BufferIntegral float64
+	// ByteIntegral is total payload-byte-seconds of buffering paid so
+	// far — the byte currency the two-phase policy actually saves.
+	ByteIntegral float64
+	// BufferedBytes and PeakBufferedBytes are the payload bytes held now
+	// (summed over members) and the highest any single member ever held.
+	BufferedBytes     int
+	PeakBufferedBytes int
+	// PressureEvictions counts entries displaced to fit newer messages
+	// under Params.ByteBudget; BudgetDenials counts stores refused
+	// because one payload exceeded the whole budget. Both stay zero
+	// without a budget.
+	PressureEvictions int
+	BudgetDenials     int
 	// MeanRecoveryMs averages recovery latency over all repaired losses.
 	MeanRecoveryMs float64
 	// MeanReRecoveryMs averages the latency of recoveries re-initiated
@@ -402,6 +431,13 @@ func (g *Group) Stats() GroupStats {
 		s.LongTermEntries += m.Buffer().LongTermCount()
 		s.BufferedEntries += m.Buffer().Len()
 		s.BufferIntegral += m.Buffer().OccupancyIntegral(g.Now())
+		s.ByteIntegral += m.Buffer().ByteOccupancyIntegral(g.Now())
+		s.BufferedBytes += m.Buffer().Bytes()
+		if p := m.Buffer().PeakBytes(); p > s.PeakBufferedBytes {
+			s.PeakBufferedBytes = p
+		}
+		s.PressureEvictions += m.Buffer().EvictedCount(core.EvictPressure)
+		s.BudgetDenials += m.Buffer().DeniedCount()
 		recSum += mm.RecoveryLatency.Mean() * float64(mm.RecoveryLatency.N())
 		recN += float64(mm.RecoveryLatency.N())
 		bufSum += mm.BufferingTime.Mean() * float64(mm.BufferingTime.N())

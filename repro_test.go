@@ -184,3 +184,35 @@ func TestFigureFacades(t *testing.T) {
 		t.Fatalf("RunSearch facade: %+v err=%v", res, err)
 	}
 }
+
+// TestGroupByteBudget drives the facade's byte-budget path: a binding
+// budget produces pressure evictions and the byte stats surface through
+// GroupStats, while delivery losses stay explicitly counted.
+func TestGroupByteBudget(t *testing.T) {
+	g, err := repro.NewGroup(
+		repro.WithRegions(10),
+		repro.WithSeed(3),
+		repro.WithDataLoss(0.1),
+		repro.WithByteBudget(2048),
+		repro.WithCopyOnStore(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.StartSessions()
+	for i := 0; i < 10; i++ {
+		i := i
+		g.At(time.Duration(i)*20*time.Millisecond, func() { g.Publish(make([]byte, 512)) })
+	}
+	g.Run(3 * time.Second)
+	s := g.Stats()
+	if s.PressureEvictions == 0 {
+		t.Fatal("a 2 KB budget under a 5 KB workload produced no pressure evictions")
+	}
+	if s.PeakBufferedBytes == 0 || s.PeakBufferedBytes > 2048 {
+		t.Fatalf("peak buffered bytes %d outside (0, 2048]", s.PeakBufferedBytes)
+	}
+	if s.ByteIntegral <= 0 {
+		t.Fatal("byte integral not accumulated")
+	}
+}
