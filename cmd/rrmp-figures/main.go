@@ -142,11 +142,12 @@ func run(w io.Writer, fig string, runs int, seed uint64, trials, parallel int) e
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-20s %12s %12s %10s %10s\n", "protocol", "mean(msg·s)", "max(msg·s)", "max/mean", "max-share")
+		fmt.Fprintf(w, "%-20s %-18s %12s %12s %10s %10s\n", "protocol", "topology", "mean(B·s)", "max(B·s)", "max/mean", "max-share")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%-20s %12.2f %12.2f %10.1f %9.0f%%\n",
-				r.Protocol, r.MeanIntegral, r.MaxIntegral, r.Imbalance, 100*r.MaxShare)
+			fmt.Fprintf(w, "%-20s %-18s %12.0f %12.0f %10.1f %9.0f%%\n",
+				r.Protocol, r.Topology, r.MeanIntegral, r.MaxIntegral, r.Imbalance, 100*r.MaxShare)
 		}
+		fmt.Fprintln(w, "(max-share is the most-burdened member's share of its region's byte-time cost)")
 	}
 	if want("A3") {
 		any = true

@@ -29,6 +29,17 @@
 // engaged cells report buffer_integral_bytesec / peak_buffered_bytes /
 // pressure_evictions / budget_denials.
 //
+// The protocol axis runs the same cells under the RMTP repair-server
+// baseline (-protocol rmtp for one cell, -sweep-protocols rrmp,rmtp for a
+// matrix; rmtp families append after all rrmp cells and report the
+// nak_*/ack_* counters instead of RRMP's request/search/handoff keys):
+//
+//	rrmp-sim -protocol rmtp -regions 30,30 -loss 0.2
+//	rrmp-sim -sweep -sweep-protocols rrmp,rmtp -trials 8
+//
+// Single-run traces stream to stderr with -trace and/or to a file with
+// -trace-out (both flags reject sweep/multi-trial modes loudly).
+//
 // The report is a pure function of (matrix, -trials, -seed): the same
 // seeds produce byte-identical aggregates at any -parallel width.
 package main
@@ -37,7 +48,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -67,11 +80,13 @@ func main() {
 		payload      = flag.Int("payload", 0, "payload bytes per message (0 = the historic 256)")
 		payloadModel = flag.String("payload-model", "", "payload size model: fixed|uniform|lognormal (sizes drawn around -payload)")
 		budget       = flag.Int("budget", 0, "per-member buffer byte budget (0 = unlimited)")
-		policy       = flag.String("policy", "two-phase", "buffering policy: two-phase|fixed|all|hash")
+		protocol     = flag.String("protocol", "rrmp", "recovery protocol: rrmp (the paper's) or rmtp (tree repair-server baseline)")
+		policy       = flag.String("policy", "two-phase", "buffering policy: two-phase|fixed|all|hash (rrmp only; rmtp cells always run the repair-server discipline)")
 		hold         = flag.Duration("hold", 500*time.Millisecond, "retention for -policy fixed")
 		seed         = flag.Uint64("seed", 1, "root random seed")
 		horizon      = flag.Duration("horizon", 5*time.Second, "virtual run time")
-		doTrace      = flag.Bool("trace", false, "stream protocol events to stderr (single-trial mode only)")
+		doTrace      = flag.Bool("trace", false, "stream protocol events to stderr (single-trial rrmp mode only)")
+		traceOut     = flag.String("trace-out", "", "write protocol events to this file instead of stderr (single-trial rrmp mode only)")
 		backoff      = flag.Duration("backoff", 0, "regional repair multicast back-off window (0 = immediate)")
 
 		sweep      = flag.Bool("sweep", false, "run the scenario matrix instead of a single scenario")
@@ -90,6 +105,7 @@ func main() {
 		swTrees      = flag.String("sweep-trees", "", "tree shapes to sweep as 'branch:levels:members;...' (adds tree cells to -sweep; overrides the -sweep-scale grid)")
 		swPayloads   = flag.String("sweep-payloads", "", "payload sizes to sweep, e.g. '0,1024' (default 0,1024; 0 = historic 256)")
 		swBudgets    = flag.String("sweep-budgets", "", "buffer byte budgets to sweep, e.g. '0,8192' (default 0,8192; 0 = unlimited)")
+		swProtocols  = flag.String("sweep-protocols", "", "protocols to sweep, e.g. 'rrmp,rmtp' (default rrmp,rmtp; rmtp families append after all rrmp cells)")
 	)
 	flag.Parse()
 
@@ -98,21 +114,31 @@ func main() {
 	// customized sweeps and ad-hoc multi-trial runs must not clobber it.
 	// (-trials/-parallel/-json stay allowed: trial count is visible in the
 	// report and parallelism never changes its bytes.)
-	outSet, matrixCustomized := false, false
+	outSet, matrixCustomized, protocolSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "protocol" {
+			protocolSet = true
+		}
 		switch f.Name {
 		case "out":
 			outSet = true
 		case "regions", "star", "tree", "burst", "msgs", "gap", "horizon", "hold",
 			"c", "lambda", "backoff", "seed", "churn", "loss", "policy",
 			"crash", "crash-recover", "partition-at", "partition-for",
-			"payload", "payload-model", "budget",
+			"payload", "payload-model", "budget", "protocol",
 			"sweep-regions", "sweep-losses", "sweep-churns", "sweep-crashes",
 			"sweep-partitions", "sweep-policies", "sweep-trees",
-			"sweep-payloads", "sweep-budgets":
+			"sweep-payloads", "sweep-budgets", "sweep-protocols":
 			matrixCustomized = true
 		}
 	})
+	// Tracing observes one deterministic run; a parallel sweep would
+	// interleave members of many trials into the same stream. Fail loudly
+	// instead of silently dropping the flag, as the old -trace did.
+	if (*doTrace || *traceOut != "") && (*sweep || *sweepScale || *trials > 1) {
+		fmt.Fprintln(os.Stderr, "rrmp-sim: -trace/-trace-out apply to single-trial mode only")
+		os.Exit(2)
+	}
 	if !outSet && *sweep && !*sweepScale && !matrixCustomized {
 		*outPath = "BENCH_sweep.json"
 	}
@@ -141,21 +167,24 @@ func main() {
 			crash: *crash, crashRecover: *crashRecover,
 			partitionAt: *partitionAt, partitionFor: *partitionFor,
 			payload: *payload, payloadModel: *payloadModel, budget: *budget,
+			protocol: *protocol, protocolSet: protocolSet,
 			seed: *seed, horizon: *horizon, trials: *trials, parallel: *parallel,
 			json: *jsonOut, outPath: *outPath,
 			swRegions: *swRegions, swLosses: *swLosses, swChurns: *swChurns,
 			swCrashes: *swCrashes, swPartitions: *swPartitions, swPolicies: *swPolicies,
 			swTrees: *swTrees, swPayloads: *swPayloads, swBudgets: *swBudgets,
+			swProtocols: *swProtocols,
 		})
 	} else {
 		err = run(singleArgs{
 			regionsCSV: *regions, star: *star, tree: *tree, msgs: *msgs, gap: *gap,
 			loss: *loss, burst: *burst, churn: *churn, c: *c, lambda: *lambda,
 			policy: *policy, hold: *hold, seed: *seed, horizon: *horizon,
-			doTrace: *doTrace, backoff: *backoff,
+			doTrace: *doTrace, traceOut: *traceOut, backoff: *backoff,
 			crash: *crash, crashRecover: *crashRecover,
 			partitionAt: *partitionAt, partitionFor: *partitionFor,
 			payload: *payload, payloadModel: *payloadModel, budget: *budget,
+			protocol: *protocol,
 		})
 	}
 	if err != nil {
@@ -280,12 +309,16 @@ type sweepArgs struct {
 	payload      int
 	payloadModel string
 	budget       int
-	seed         uint64
-	horizon      time.Duration
-	trials       int
-	parallel     int
-	json         bool
-	outPath      string
+	protocol     string
+	// protocolSet records that -protocol was given explicitly, so even
+	// the default value "rrmp" pins the sweep's protocol axis.
+	protocolSet bool
+	seed        uint64
+	horizon     time.Duration
+	trials      int
+	parallel    int
+	json        bool
+	outPath     string
 	// quiet suppresses stdout reporting (the in-process golden test only
 	// compares the -out files).
 	quiet        bool
@@ -298,6 +331,7 @@ type sweepArgs struct {
 	swTrees      string
 	swPayloads   string
 	swBudgets    string
+	swProtocols  string
 }
 
 // runSweep runs either the scenario matrix (-sweep) or a single-cell sweep
@@ -415,6 +449,25 @@ func runSweep(a sweepArgs) error {
 	}
 	if a.payloadModel != "" && a.payloadModel != "fixed" {
 		sw.PayloadModel = a.payloadModel
+	}
+	// Protocol axis: an explicit -sweep-protocols list wins; otherwise an
+	// explicit scalar -protocol pins the axis to that one protocol (same
+	// rule the byte axes follow — and "-sweep -protocol rrmp" genuinely
+	// excludes the rmtp family, not just when the value is non-default).
+	if a.swProtocols != "" {
+		sw.Protocols = nil
+		for _, p := range strings.Split(a.swProtocols, ",") {
+			p = strings.TrimSpace(p)
+			// Validate here, like the other axes: an empty token (a
+			// trailing comma) would otherwise normalize to a second
+			// identical rrmp family instead of erroring.
+			if p != "rrmp" && p != "rmtp" {
+				return fmt.Errorf("-sweep-protocols: unknown protocol %q (want rrmp or rmtp)", p)
+			}
+			sw.Protocols = append(sw.Protocols, p)
+		}
+	} else if a.protocolSet || (a.protocol != "" && a.protocol != "rrmp") {
+		sw.Protocols = []string{a.protocol}
 	}
 	sw.Star = a.star
 	sw.Burst = a.burst
@@ -609,15 +662,85 @@ type singleArgs struct {
 	payload      int
 	payloadModel string
 	budget       int
+	protocol     string
 	seed         uint64
 	horizon      time.Duration
 	doTrace      bool
+	traceOut     string
 	backoff      time.Duration
+}
+
+// runSingleRMTP runs one seeded trial of the tree baseline by building the
+// equivalent scenario cell and printing its metrics: the single-run mode's
+// rich narrative output is RRMP-specific, but the cell metrics are the
+// protocol-comparable currency anyway.
+func runSingleRMTP(a singleArgs) error {
+	sc := repro.Scenario{
+		Protocol: "rmtp",
+		Loss:     a.loss,
+		Burst:    a.burst,
+		Churn:    a.churn,
+		Crash:    a.crash,
+		Policy:   "server",
+		Msgs:     a.msgs,
+		Gap:      a.gap,
+		Horizon:  a.horizon,
+	}
+	if a.crash > 0 {
+		sc.CrashRecover = a.crashRecover
+	}
+	if a.partitionAt > 0 {
+		sc.PartitionAt = a.partitionAt
+		sc.PartitionDur = a.partitionFor
+	}
+	sc.PayloadBytes = a.payload
+	if a.payloadModel != "" && a.payloadModel != "fixed" {
+		sc.PayloadModel = a.payloadModel
+	}
+	sc.ByteBudget = a.budget
+	if a.tree != "" {
+		shape, err := parseTreeShape(a.tree)
+		if err != nil {
+			return err
+		}
+		sc.Tree = &shape
+	} else {
+		sizes, err := parseSizes(a.regionsCSV)
+		if err != nil {
+			return err
+		}
+		sc.Regions = sizes
+		sc.Star = a.star
+	}
+	m, err := repro.RunScenario(sc, a.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rmtp baseline: %s (seed %d)\n", sc.Name(), a.seed)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-28s %g\n", k, m[k])
+	}
+	return nil
 }
 
 func run(a singleArgs) error {
 	if a.payload < 0 || a.budget < 0 {
 		return fmt.Errorf("-payload and -budget must be non-negative (got %d, %d)", a.payload, a.budget)
+	}
+	switch a.protocol {
+	case "", "rrmp":
+	case "rmtp":
+		if a.doTrace || a.traceOut != "" {
+			return fmt.Errorf("-trace/-trace-out observe the rrmp engine; the rmtp baseline has no tracer hook")
+		}
+		return runSingleRMTP(a)
+	default:
+		return fmt.Errorf("unknown protocol %q (want rrmp or rmtp)", a.protocol)
 	}
 	var sizes []int
 	if a.tree == "" {
@@ -673,8 +796,33 @@ func run(a singleArgs) error {
 	default:
 		return fmt.Errorf("unknown policy %q", policyName)
 	}
+	// Tracing routes through the cluster's Tracer hook: -trace streams to
+	// stderr (the historic behaviour), -trace-out to a file, and both at
+	// once fan out to both sinks.
+	var traceSinks []io.Writer
+	var traceFile *os.File
 	if a.doTrace {
-		opts = append(opts, repro.WithTracer(&trace.Writer{W: os.Stderr}))
+		traceSinks = append(traceSinks, os.Stderr)
+	}
+	if a.traceOut != "" {
+		f, err := os.Create(a.traceOut)
+		if err != nil {
+			return fmt.Errorf("opening trace output: %w", err)
+		}
+		traceFile = f
+		defer func() {
+			if traceFile != nil {
+				traceFile.Close()
+			}
+		}()
+		traceSinks = append(traceSinks, f)
+	}
+	switch len(traceSinks) {
+	case 0:
+	case 1:
+		opts = append(opts, repro.WithTracer(&trace.Writer{W: traceSinks[0]}))
+	default:
+		opts = append(opts, repro.WithTracer(&trace.Writer{W: io.MultiWriter(traceSinks...)}))
 	}
 
 	g, err := repro.NewGroup(opts...)
@@ -803,5 +951,14 @@ func run(a singleArgs) error {
 			a.budget, s.PressureEvictions, s.BudgetDenials)
 	}
 	fmt.Printf("network:  %d packets, %d bytes offered\n", g.TotalPacketsSent(), g.TotalBytesSent())
+	// Close the trace file explicitly so a failed flush (full disk, ...)
+	// surfaces as an error instead of an exit-0 truncated trace.
+	if traceFile != nil {
+		err := traceFile.Close()
+		traceFile = nil
+		if err != nil {
+			return fmt.Errorf("closing trace output: %w", err)
+		}
+	}
 	return nil
 }

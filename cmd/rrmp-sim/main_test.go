@@ -60,7 +60,28 @@ func TestSweepReportByteIdenticalAcrossParallelism(t *testing.T) {
 	}
 
 	crashCells, partCells, byteCells, legacyCells := 0, 0, 0, 0
+	rmtpCells, sawRMTP := 0, false
 	for _, cell := range rep.Cells {
+		if cell.Scenario.Protocol == "rmtp" {
+			rmtpCells++
+			sawRMTP = true
+			if !strings.Contains(cell.Name, "proto=rmtp") || cell.Scenario.Policy != "server" {
+				t.Fatalf("rmtp cell %q malformed", cell.Name)
+			}
+			if _, ok := cell.Aggregate.Metric("nak_sent"); !ok {
+				t.Fatalf("rmtp cell %q reports no nak_sent", cell.Name)
+			}
+			if _, ok := cell.Aggregate.Metric("ack_trim"); !ok {
+				t.Fatalf("rmtp cell %q reports no ack_trim", cell.Name)
+			}
+			if _, ok := cell.Aggregate.Metric("searches"); ok {
+				t.Fatalf("rmtp cell %q leaked the RRMP-only searches key", cell.Name)
+			}
+		} else if sawRMTP {
+			t.Fatalf("rrmp cell %q appears after the rmtp family began", cell.Name)
+		} else if _, ok := cell.Aggregate.Metric("nak_sent"); ok {
+			t.Fatalf("rrmp cell %q leaked the rmtp-only nak_sent key", cell.Name)
+		}
 		if cell.Scenario.Crash > 0 {
 			crashCells++
 			if !strings.Contains(cell.Name, "crash=") {
@@ -105,23 +126,32 @@ func TestSweepReportByteIdenticalAcrossParallelism(t *testing.T) {
 		t.Fatalf("default matrix has %d legacy and %d byte-axis cells; want a 1:3 split",
 			legacyCells, byteCells)
 	}
+	// The protocol axis: rmtp collapses the 2-policy axis, so its family
+	// is half the rrmp family's size and appends after it.
+	if rmtpCells == 0 || 3*rmtpCells != len(rep.Cells) {
+		t.Fatalf("default matrix has %d rmtp cells of %d; want a 2:1 rrmp:rmtp split",
+			rmtpCells, len(rep.Cells))
+	}
 }
 
 // TestBudgetSweepPressureAndDeterminism is the byte-axis acceptance run: a
 // budget-constrained payload sweep must actually hit the budget (pressure
 // evictions > 0), keep survivor delivery ≥ 0.99 at a sane budget, and stay
-// byte-identical across -parallel 1 and 8.
+// byte-identical across -parallel 1 and 8. Pinned to the rrmp protocol:
+// the ≥ 0.99 survivor bound is an RRMP property (an orphaned rmtp region
+// legitimately stalls — that regime has its own tests).
 func TestBudgetSweepPressureAndDeterminism(t *testing.T) {
 	dir := t.TempDir()
 	report := func(parallel int) []byte {
 		t.Helper()
 		out := filepath.Join(dir, "budget_sweep.json")
 		if err := runSweep(sweepArgs{
-			sweep:      true,
-			swRegions:  "8;6,6",
-			swPayloads: "512,1024",
-			budget:     16384,
-			c:          6, lambda: 1, hold: 500 * time.Millisecond,
+			sweep:       true,
+			swRegions:   "8;6,6",
+			swPayloads:  "512,1024",
+			swProtocols: "rrmp",
+			budget:      16384,
+			c:           6, lambda: 1, hold: 500 * time.Millisecond,
 			msgs: 20, gap: 20 * time.Millisecond, horizon: 5 * time.Second,
 			trials:   2,
 			parallel: parallel,
@@ -179,13 +209,13 @@ func TestBudgetSweepPressureAndDeterminism(t *testing.T) {
 // in-process and compares it byte-for-byte against the committed golden,
 // which was produced by the PR 2 engine *before* the hot-path rewrite
 // (pooled event queue, batched netsim fan-out, indexed buffer, bitset gap
-// tracking) and before the byte axes existed — so the sweep is pinned to
-// the legacy axes (payload 0, budget 0): with no budget set, every cell
-// must keep its pre-axis name, keys, and bytes. Regenerate deliberately
-// with:
+// tracking) and before the byte and protocol axes existed — so the sweep
+// is pinned to the legacy axes (payload 0, budget 0, protocol rrmp): every
+// cell must keep its pre-axis name, keys, and bytes. Regenerate
+// deliberately with:
 //
 //	go run ./cmd/rrmp-sim -sweep -sweep-regions '8;6,6' -trials 2 \
-//	    -sweep-payloads 0 -sweep-budgets 0 \
+//	    -sweep-payloads 0 -sweep-budgets 0 -sweep-protocols rrmp \
 //	    -seed 1 -out cmd/rrmp-sim/testdata/sweep_golden.json -json >/dev/null
 func TestSweepReportMatchesGolden(t *testing.T) {
 	golden, err := os.ReadFile(filepath.Join("testdata", "sweep_golden.json"))
@@ -194,10 +224,11 @@ func TestSweepReportMatchesGolden(t *testing.T) {
 	}
 	out := filepath.Join(t.TempDir(), "sweep.json")
 	if err := runSweep(sweepArgs{
-		sweep:      true,
-		swRegions:  "8;6,6",
-		swPayloads: "0",
-		swBudgets:  "0",
+		sweep:       true,
+		swRegions:   "8;6,6",
+		swPayloads:  "0",
+		swBudgets:   "0",
+		swProtocols: "rrmp",
 		// Flag defaults the CLI bakes into every sweep, spelled out because
 		// runSweep is invoked below flag parsing.
 		c: 6, lambda: 1, hold: 500 * time.Millisecond,
@@ -379,6 +410,131 @@ func TestParseInts(t *testing.T) {
 	}
 	if err := run(singleArgs{regionsCSV: "4", payload: -1, msgs: 1, gap: 1e6, horizon: 1e8, policy: "two-phase", c: 4, lambda: 1}); err == nil {
 		t.Fatal("negative -payload accepted by run")
+	}
+}
+
+// TestProtocolSweepMiniature is the protocol-axis golden miniature: a
+// -sweep-protocols matrix crossing faults and a budget must be
+// byte-identical at -parallel 1 and 8, append every rmtp cell after every
+// rrmp cell, and keep the per-protocol key disciplines intact.
+func TestProtocolSweepMiniature(t *testing.T) {
+	dir := t.TempDir()
+	report := func(parallel int) []byte {
+		t.Helper()
+		out := filepath.Join(dir, "protocol_sweep.json")
+		if err := runSweep(sweepArgs{
+			sweep:       true,
+			swRegions:   "8;6,6",
+			swPayloads:  "0,512",
+			swBudgets:   "0",
+			swProtocols: "rrmp,rmtp",
+			c:           6, lambda: 1, hold: 500 * time.Millisecond,
+			msgs: 20, gap: 20 * time.Millisecond, horizon: 5 * time.Second,
+			trials:   2,
+			parallel: parallel,
+			seed:     1,
+			outPath:  out,
+			quiet:    true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	serial := report(1)
+	wide := report(8)
+	if !bytes.Equal(serial, wide) {
+		t.Fatal("protocol sweep report bytes differ between -parallel 1 and -parallel 8")
+	}
+
+	var rep repro.SweepReport
+	if err := json.Unmarshal(serial, &rep); err != nil {
+		t.Fatal(err)
+	}
+	firstRMTP := -1
+	for i, cell := range rep.Cells {
+		if cell.Scenario.Protocol == "rmtp" {
+			if firstRMTP < 0 {
+				firstRMTP = i
+			}
+		} else if firstRMTP >= 0 {
+			t.Fatalf("rrmp cell %q after the rmtp family", cell.Name)
+		}
+	}
+	if firstRMTP <= 0 {
+		t.Fatal("protocol sweep produced no rmtp family, or no rrmp prefix")
+	}
+	// The rmtp family crosses the same topology × loss × churn × fault ×
+	// byte matrix with the 2-policy axis collapsed, so it is exactly half
+	// the rrmp family.
+	if got, want := len(rep.Cells)-firstRMTP, firstRMTP/2; got != want {
+		t.Fatalf("rmtp family has %d cells, want %d (policy axis collapsed)", got, want)
+	}
+	for _, cell := range rep.Cells[firstRMTP:] {
+		if _, ok := cell.Aggregate.Metric("delivery_ratio"); !ok {
+			t.Fatalf("rmtp cell %q reports no delivery_ratio", cell.Name)
+		}
+		if _, ok := cell.Aggregate.Metric("buffer_integral_msgsec"); !ok {
+			t.Fatalf("rmtp cell %q reports no buffer integral", cell.Name)
+		}
+	}
+}
+
+// TestSingleRunRMTP drives the -protocol rmtp single-scenario mode end to
+// end, faults included.
+func TestSingleRunRMTP(t *testing.T) {
+	err := run(singleArgs{
+		protocol:     "rmtp",
+		regionsCSV:   "10,10",
+		msgs:         5,
+		gap:          20e6,
+		loss:         0.2,
+		crash:        1,
+		crashRecover: 500e6,
+		c:            6,
+		lambda:       1,
+		policy:       "two-phase", // ignored by the baseline
+		seed:         3,
+		horizon:      3e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(singleArgs{protocol: "bogus", regionsCSV: "4", msgs: 1, gap: 1e6, horizon: 1e8, policy: "two-phase", c: 4, lambda: 1}); err == nil {
+		t.Fatal("bogus -protocol accepted")
+	}
+}
+
+// TestTraceOutWritesFile pins the -trace-out bugfix: traces route through
+// the cluster Tracer hook into the named file instead of unconditionally
+// spamming stderr.
+func TestTraceOutWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.log")
+	err := run(singleArgs{
+		regionsCSV: "6",
+		msgs:       3,
+		gap:        10e6,
+		loss:       0.3,
+		c:          4,
+		lambda:     1,
+		policy:     "two-phase",
+		seed:       4,
+		horizon:    2e9,
+		traceOut:   path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(blob, []byte("DELIVER")) {
+		t.Fatalf("trace file has no DELIVER events; got %d bytes", len(blob))
 	}
 }
 

@@ -37,10 +37,13 @@
 // # Sweeps and statistics
 //
 // RunSweep runs declarative scenario matrices (region layout × data loss ×
-// churn × buffering policy) across a bounded worker pool, with every metric
-// aggregated to mean / stddev / 95% CI over independently seeded trials
-// (internal/exp). Aggregates are byte-identical at any parallelism.
-// cmd/rrmp-sim exposes the same machinery via -sweep, -trials, -parallel
-// and -json, and records the default matrix in BENCH_sweep.json. See
-// README.md for the operator's manual and DESIGN.md for the rationale.
+// churn × buffering policy, under either protocol: Scenario.Protocol
+// selects the RRMP engine or the RMTP repair-server baseline) across a
+// bounded worker pool, with every metric aggregated to mean / stddev /
+// 95% CI over independently seeded trials (internal/exp). Aggregates are
+// byte-identical at any parallelism. cmd/rrmp-sim exposes the same
+// machinery via -sweep, -trials, -parallel and -json, and records the
+// default matrix — including the RRMP-vs-RMTP families — in
+// BENCH_sweep.json. See README.md for the operator's manual and DESIGN.md
+// for the rationale.
 package repro

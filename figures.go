@@ -76,9 +76,16 @@ func AblationPolicies(seed uint64) ([]PolicyComparison, error) {
 	return runner.AblationPolicies(seed)
 }
 
-// AblationLoadBalance runs A2: buffering load spread, RRMP vs tree.
+// AblationLoadBalance runs A2: buffering load spread (byte-seconds, flat
+// and two-level topologies), RRMP vs tree.
 func AblationLoadBalance(seed uint64) ([]LoadBalance, error) {
 	return runner.AblationLoadBalance(seed)
+}
+
+// AblationLoadBalanceSized is A2 under a payload-size model (mean bytes
+// and fixed/uniform/lognormal draws).
+func AblationLoadBalanceSized(payloadBytes int, model string, seed uint64) ([]LoadBalance, error) {
+	return runner.AblationLoadBalanceSized(payloadBytes, model, seed)
 }
 
 // AblationSearchImplosion runs A3: multicast-query reply implosion vs the

@@ -401,21 +401,87 @@ func TestDefaultSweepHasByteAxes(t *testing.T) {
 		t.Fatal("default byte combination must lead so legacy cells keep their positions")
 	}
 	cells := sw.Expand()
-	if len(cells) != 384 {
-		t.Fatalf("default matrix has %d cells, want 384", len(cells))
+	if len(cells) != 576 {
+		t.Fatalf("default matrix has %d cells, want 576 (384 rrmp + 192 rmtp)", len(cells))
 	}
 	for i := 0; i < 96; i++ {
-		if cells[i].PayloadBytes != 0 || cells[i].ByteBudget != 0 {
-			t.Fatalf("legacy block cell %d engages the byte axes: %+v", i, cells[i])
+		if cells[i].PayloadBytes != 0 || cells[i].ByteBudget != 0 || cells[i].Protocol != "" {
+			t.Fatalf("legacy block cell %d engages a new axis: %+v", i, cells[i])
 		}
 	}
 	pressure := 0
-	for _, c := range cells[96:] {
+	for _, c := range cells[96:384] {
+		if c.Protocol != "" {
+			t.Fatalf("rrmp block cell %q carries a protocol token", c.Name())
+		}
 		if c.ByteBudget > 0 && c.PayloadBytes > 0 {
 			pressure++
 		}
 	}
 	if pressure != 96 {
-		t.Fatalf("default matrix has %d genuine-pressure cells, want 96", pressure)
+		t.Fatalf("default matrix has %d genuine-pressure rrmp cells, want 96", pressure)
+	}
+	for i, c := range cells[384:] {
+		if c.Protocol != "rmtp" || c.Policy != "server" {
+			t.Fatalf("appended cell %d is not an rmtp/server cell: %+v", 384+i, c)
+		}
+	}
+}
+
+// TestSweepExpansionProtocolAxisAppends pins the protocol axis contract:
+// the RRMP family expands first and is cell-for-cell the protocol-free
+// matrix, and the RMTP family appends after it with the policy axis
+// collapsed to "server".
+func TestSweepExpansionProtocolAxisAppends(t *testing.T) {
+	legacy := Sweep{
+		Regions:      [][]int{{8}, {6, 6}},
+		Losses:       []float64{0.05, 0.2},
+		Policies:     []string{"two-phase", "fixed"},
+		PayloadSizes: []int{0, 512},
+	}
+	augmented := legacy
+	augmented.Protocols = []string{"rrmp", "rmtp"}
+
+	base := legacy.Expand()
+	cells := augmented.Expand()
+	wantRMTP := len(base) / 2 // policy axis collapses for the baseline
+	if len(cells) != len(base)+wantRMTP {
+		t.Fatalf("augmented sweep has %d cells, want %d", len(cells), len(base)+wantRMTP)
+	}
+	for i, want := range base {
+		if cells[i].Name() != want.Name() {
+			t.Fatalf("rrmp cell %d moved: %q != %q", i, cells[i].Name(), want.Name())
+		}
+		if cells[i].Protocol != "" {
+			t.Fatalf("rrmp cell %d not normalized to the canonical empty protocol: %+v", i, cells[i])
+		}
+	}
+	for i, c := range cells[len(base):] {
+		if c.Protocol != "rmtp" {
+			t.Fatalf("appended cell %d has protocol %q, want rmtp", i, c.Protocol)
+		}
+		if c.Policy != "server" {
+			t.Fatalf("rmtp cell %d has policy %q, want server", i, c.Policy)
+		}
+		if !strings.Contains(c.Name(), " proto=rmtp policy=server") {
+			t.Fatalf("rmtp cell name %q lacks the protocol token", c.Name())
+		}
+	}
+}
+
+// TestScenarioNameProtocolToken pins the name rule: RRMP cells (empty or
+// explicit) never carry a protocol token; rmtp cells always do.
+func TestScenarioNameProtocolToken(t *testing.T) {
+	sc := Scenario{Regions: []int{50}, Loss: 0.05, Policy: "two-phase"}
+	base := sc.Name()
+	sc.Protocol = "rrmp"
+	if got := sc.Name(); got != base {
+		t.Fatalf("explicit rrmp changed the name: %q != %q", got, base)
+	}
+	sc.Protocol = "rmtp"
+	sc.Policy = "server"
+	want := "regions=50 loss=0.05 churn=0 proto=rmtp policy=server"
+	if got := sc.Name(); got != want {
+		t.Fatalf("Name() = %q, want %q", got, want)
 	}
 }

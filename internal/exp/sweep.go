@@ -23,9 +23,16 @@ func (t TreeShape) Token() string {
 	return fmt.Sprintf("tree:b%dd%dm%d", t.Branch, t.Levels, t.Members)
 }
 
-// Scenario is one fully specified cell of a sweep: topology, fault model,
-// churn, buffering policy, and workload. Durations marshal as nanoseconds.
+// Scenario is one fully specified cell of a sweep: protocol, topology,
+// fault model, churn, buffering policy, and workload. Durations marshal as
+// nanoseconds.
 type Scenario struct {
+	// Protocol selects the recovery protocol the cell runs: "" or "rrmp"
+	// is the paper's RRMP engine (the historic behaviour, omitted from
+	// JSON so pre-axis cells keep their bytes); "rmtp" is the tree-based
+	// repair-server baseline (§1, §6), driven through the identical
+	// workload, fault and byte-budget machinery.
+	Protocol string `json:"protocol,omitempty"`
 	// Regions are the region sizes (chain hierarchy unless Star).
 	Regions []int `json:"regions"`
 	// Star attaches every region after the first directly to the sender's
@@ -135,6 +142,11 @@ func (s Scenario) Name() string {
 	if s.ByteBudget > 0 {
 		name += fmt.Sprintf(" budget=%d", s.ByteBudget)
 	}
+	// The protocol token appears only for non-RRMP cells, so every
+	// historical cell keeps its name.
+	if s.Protocol != "" && s.Protocol != "rrmp" {
+		name += " proto=" + s.Protocol
+	}
 	return name + " policy=" + s.Policy
 }
 
@@ -194,18 +206,30 @@ type Sweep struct {
 	// Budgets lists per-member buffer byte budgets to sweep; 0 means
 	// unlimited (default [0]).
 	Budgets []int `json:"budgets,omitempty"`
+	// Protocols lists recovery protocols to sweep ("rrmp"/"" and "rmtp";
+	// default [""] = RRMP only). The protocol axis is the outermost
+	// expansion dimension with RRMP first, so adding "rmtp" to a matrix
+	// appends a whole baseline family after every existing cell without
+	// moving any of them. RMTP cells collapse the Policies axis to the
+	// single value "server": the baseline's buffering discipline is the
+	// repair server itself (buffer-all under ACK trimming), so RRMP
+	// policy names do not apply.
+	Protocols []string `json:"protocols,omitempty"`
 }
 
 // DefaultSweep returns the standing benchmark matrix rrmp-sim runs when no
 // dimensions are given: 3 topologies × 2 loss rates × 2 churn rates × 2
 // crash rates × 2 partition settings × 2 policies, crossed with the byte
-// axes' payload {historic 256, 1 KB} × budget {unlimited, 8 KB} family.
-// The default (0, 0) byte combination leads the expansion, so the first 96
-// cells are the historical matrix unchanged; the three non-default
-// combinations append the budget×payload family that prices buffering in
-// bytes (headroom, byte-visible, and genuine-pressure regimes). The
-// two-region vector exists so partition cells cut along a region boundary.
-// BENCH_sweep.json tracks this matrix across PRs.
+// axes' payload {historic 256, 1 KB} × budget {unlimited, 8 KB} family,
+// all of it run under both protocols. The RRMP family leads and the
+// default (0, 0) byte combination leads within it, so the first 96 cells
+// are the historical matrix unchanged, cells 97–384 are the byte-axis
+// families (headroom, byte-visible, and genuine-pressure regimes), and
+// the RMTP repair-server baseline appends after cell 384 (192 cells: the
+// policy axis collapses to "server"). The two-region vector exists so
+// partition cells cut along a region boundary. BENCH_sweep.json tracks
+// this matrix across PRs — it is the repo's machine-tracked RRMP-vs-RMTP
+// record across the full fault matrix.
 func DefaultSweep() Sweep {
 	return Sweep{
 		Regions:      [][]int{{50}, {100}, {30, 30}},
@@ -216,6 +240,7 @@ func DefaultSweep() Sweep {
 		Policies:     []string{"two-phase", "fixed"},
 		PayloadSizes: []int{0, 1024},
 		Budgets:      []int{0, 8 * 1024},
+		Protocols:    []string{"rrmp", "rmtp"},
 	}
 }
 
@@ -244,12 +269,16 @@ func ScaleSweep() Sweep {
 	}
 }
 
-// Expand returns the cartesian product in a fixed order: payload sizes and
-// byte budgets outermost (so the default (0, 0) block — when present —
-// reproduces the pre-axis matrix cell for cell before any byte-axis family
-// follows), then the topology axis (all Regions vectors, then all Trees),
-// then losses, churns, and policies innermost. The order is part of the
-// report schema — cells keep their position across runs.
+// Expand returns the cartesian product in a fixed order: the protocol
+// axis outermost (RRMP families before any "rmtp" baseline family), then
+// payload sizes and byte budgets (so the default (0, 0) block — when
+// present — reproduces the pre-axis matrix cell for cell before any
+// byte-axis family follows), then the topology axis (all Regions vectors,
+// then all Trees), then losses, churns, and policies innermost. "rrmp" is
+// normalized to the canonical empty Protocol, and RMTP cells replace the
+// policy dimension with the single value "server" (see Sweep.Protocols).
+// The order is part of the report schema — cells keep their position
+// across runs.
 func (sw Sweep) Expand() []Scenario {
 	regions := sw.Regions
 	if len(regions) == 0 && len(sw.Trees) == 0 {
@@ -304,6 +333,10 @@ func (sw Sweep) Expand() []Scenario {
 	if len(budgets) == 0 {
 		budgets = []int{0}
 	}
+	protocols := sw.Protocols
+	if len(protocols) == 0 {
+		protocols = []string{""}
+	}
 
 	type topoCell struct {
 		regions []int
@@ -318,44 +351,57 @@ func (sw Sweep) Expand() []Scenario {
 		topos = append(topos, topoCell{tree: &t})
 	}
 
-	out := make([]Scenario, 0, len(payloads)*len(budgets)*
+	out := make([]Scenario, 0, len(protocols)*len(payloads)*len(budgets)*
 		len(topos)*len(losses)*len(churns)*len(crashes)*len(partitions)*len(policies))
-	for _, pb := range payloads {
-		for _, bud := range budgets {
-			for _, tc := range topos {
-				for _, l := range losses {
-					for _, ch := range churns {
-						for _, cr := range crashes {
-							for _, pd := range partitions {
-								for _, p := range policies {
-									sc := Scenario{
-										Regions:       append([]int(nil), tc.regions...),
-										Star:          sw.Star && tc.tree == nil,
-										Tree:          tc.tree,
-										Loss:          l,
-										Burst:         sw.Burst,
-										Churn:         ch,
-										Crash:         cr,
-										Policy:        p,
-										FixedHold:     hold,
-										C:             sw.C,
-										Lambda:        sw.Lambda,
-										RepairBackoff: sw.RepairBackoff,
-										Msgs:          msgs,
-										Gap:           gap,
-										Horizon:       horizon,
-										PayloadBytes:  pb,
-										PayloadModel:  sw.PayloadModel,
-										ByteBudget:    bud,
+	for _, proto := range protocols {
+		if proto == "rrmp" {
+			proto = "" // canonical default, so RRMP cells keep their JSON bytes
+		}
+		pols := policies
+		if proto == "rmtp" {
+			// The baseline's buffering discipline is the repair server
+			// itself; RRMP policy names do not apply, so the axis
+			// collapses to one cell per combination.
+			pols = []string{"server"}
+		}
+		for _, pb := range payloads {
+			for _, bud := range budgets {
+				for _, tc := range topos {
+					for _, l := range losses {
+						for _, ch := range churns {
+							for _, cr := range crashes {
+								for _, pd := range partitions {
+									for _, p := range pols {
+										sc := Scenario{
+											Protocol:      proto,
+											Regions:       append([]int(nil), tc.regions...),
+											Star:          sw.Star && tc.tree == nil,
+											Tree:          tc.tree,
+											Loss:          l,
+											Burst:         sw.Burst,
+											Churn:         ch,
+											Crash:         cr,
+											Policy:        p,
+											FixedHold:     hold,
+											C:             sw.C,
+											Lambda:        sw.Lambda,
+											RepairBackoff: sw.RepairBackoff,
+											Msgs:          msgs,
+											Gap:           gap,
+											Horizon:       horizon,
+											PayloadBytes:  pb,
+											PayloadModel:  sw.PayloadModel,
+											ByteBudget:    bud,
+										}
+										if cr > 0 {
+											sc.CrashRecover = sw.CrashRecover
+										}
+										if pd > 0 {
+											sc.PartitionAt = partAt
+											sc.PartitionDur = pd
+										}
+										out = append(out, sc)
 									}
-									if cr > 0 {
-										sc.CrashRecover = sw.CrashRecover
-									}
-									if pd > 0 {
-										sc.PartitionAt = partAt
-										sc.PartitionDur = pd
-									}
-									out = append(out, sc)
 								}
 							}
 						}

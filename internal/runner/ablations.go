@@ -113,83 +113,119 @@ func AblationPolicies(seed uint64) ([]PolicyComparison, error) {
 // spread across members.
 type LoadBalance struct {
 	Protocol string
-	// MeanIntegral and MaxIntegral are per-member message-seconds.
+	// Topology names the group shape the row ran on ("flat-50" or
+	// "two-level-25+25"): the paper's repair-server claim is about a
+	// hierarchy of regions, so the flat single-region cell alone would
+	// not exercise it.
+	Topology string
+	// MeanIntegral and MaxIntegral are per-member payload-byte-seconds —
+	// the byte-time integral PR 4 made live; message-seconds hid the cost
+	// of variable payloads entirely.
 	MeanIntegral float64
 	MaxIntegral  float64
 	// Imbalance is MaxIntegral / MeanIntegral (1.0 = perfectly even).
 	Imbalance float64
-	// MaxShare is the most-burdened member's fraction of the region's
-	// total buffering cost — the paper's §1 claim is that a repair server
-	// carries ~100% of it while RRMP spreads it.
+	// MaxShare is the most-burdened member's fraction of its *region's*
+	// total buffering cost — the paper's §1 claim is per region: "a
+	// repair server bears the entire burden of buffering messages for a
+	// local region" (≈ 1.0), while RRMP spreads it (≪ 1.0). Scoping the
+	// share to the region keeps the claim measurable on hierarchies,
+	// where each region has its own server.
 	MaxShare float64
 }
 
 // AblationLoadBalance (A2) contrasts RRMP's diffused buffering with the
-// tree baseline, where the repair server carries the region's entire load
-// (§1, §6): same region, same 100-message stream.
+// tree baseline, where a repair server carries its region's entire load
+// (§1, §6): the same 100-message stream on a flat 50-member region and on
+// a two-level 25+25 hierarchy, with the historic fixed 256-byte payload.
 func AblationLoadBalance(seed uint64) ([]LoadBalance, error) {
+	return AblationLoadBalanceSized(0, "", seed)
+}
+
+// AblationLoadBalanceSized is AblationLoadBalance under a payload-size
+// model: payloadBytes is the per-message mean (0 = the historic 256) and
+// model selects fixed/uniform/lognormal draws (workload.NewSizeModel), so
+// the byte-time comparison covers variable payloads, not just a constant
+// multiple of the message count.
+func AblationLoadBalanceSized(payloadBytes int, model string, seed uint64) ([]LoadBalance, error) {
 	const (
-		n       = 50
 		msgs    = 100
 		horizon = 4 * time.Second
 	)
+	topos := []struct {
+		name  string
+		build func() (*topology.Topology, error)
+	}{
+		{"flat-50", func() (*topology.Topology, error) { return topology.SingleRegion(50) }},
+		{"two-level-25+25", func() (*topology.Topology, error) { return topology.Chain(25, 25) }},
+	}
+	sizes, maxSize, err := PayloadSizesFor(model, payloadBytes, msgs, seed)
+	if err != nil {
+		return nil, err
+	}
+	payloadBuf := make([]byte, maxSize)
+
 	var out []LoadBalance
-
-	// RRMP with the paper's two-phase policy.
-	topo, err := topology.SingleRegion(n)
-	if err != nil {
-		return nil, err
-	}
-	params := rrmp.DefaultParams()
-	params.LongTermTTL = time.Second
-	c, err := NewCluster(ClusterConfig{Topo: topo, Params: params, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < msgs; i++ {
-		i := i
-		c.Sim.At(time.Duration(i)*10*time.Millisecond, func() { c.Sender.Publish(make([]byte, 64)) })
-	}
-	c.Sim.RunUntil(horizon)
-	var integrals []float64
-	for _, m := range c.Members {
-		integrals = append(integrals, m.Buffer().OccupancyIntegral(c.Sim.Now()))
-	}
-	out = append(out, loadBalanceRow("rrmp two-phase", integrals))
-
-	// Tree baseline on the identical workload.
-	tree, err := NewTreeCluster(TreeClusterConfig{Topo: topo, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	for _, node := range tree.Nodes {
-		node.StartAcks()
-	}
-	for i := 0; i < msgs; i++ {
-		i := i
-		tree.Sim.At(time.Duration(i)*10*time.Millisecond, func() { tree.Sender.Publish(make([]byte, 64)) })
-	}
-	tree.Sim.RunUntil(horizon)
-	integrals = integrals[:0]
-	for _, node := range tree.Nodes {
-		if node.Buffer() != nil {
-			integrals = append(integrals, node.Buffer().OccupancyIntegral(tree.Sim.Now()))
-		} else {
-			integrals = append(integrals, 0)
+	for _, tc := range topos {
+		// RRMP with the paper's two-phase policy.
+		topo, err := tc.build()
+		if err != nil {
+			return nil, err
 		}
+		params := rrmp.DefaultParams()
+		params.LongTermTTL = time.Second
+		c, err := NewCluster(ClusterConfig{Topo: topo, Params: params, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < msgs; i++ {
+			i := i
+			c.Sim.At(time.Duration(i)*10*time.Millisecond, func() { c.Sender.Publish(payloadBuf[:sizes[i]]) })
+		}
+		c.Sim.RunUntil(horizon)
+		integrals := make([]float64, topo.NumNodes())
+		for id, m := range c.Members {
+			integrals[id] = m.Buffer().ByteOccupancyIntegral(c.Sim.Now())
+		}
+		out = append(out, loadBalanceRow("rrmp two-phase", tc.name, topo, integrals))
+
+		// Tree baseline on the identical workload and topology.
+		tree, err := NewTreeCluster(TreeClusterConfig{Topo: topo, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		for _, node := range tree.Nodes {
+			node.StartAcks()
+		}
+		for i := 0; i < msgs; i++ {
+			i := i
+			tree.Sim.At(time.Duration(i)*10*time.Millisecond, func() { tree.Sender.Publish(payloadBuf[:sizes[i]]) })
+		}
+		tree.Sim.RunUntil(horizon)
+		integrals = make([]float64, topo.NumNodes())
+		for id, node := range tree.Nodes {
+			if node.Buffer() != nil {
+				integrals[id] = node.Buffer().ByteOccupancyIntegral(tree.Sim.Now())
+			}
+		}
+		out = append(out, loadBalanceRow("rmtp repair-server", tc.name, topo, integrals))
 	}
-	out = append(out, loadBalanceRow("rmtp repair-server", integrals))
 	return out, nil
 }
 
-func loadBalanceRow(name string, integrals []float64) LoadBalance {
-	row := LoadBalance{Protocol: name}
+// loadBalanceRow reduces per-member byte-time integrals (indexed by dense
+// NodeID) to the A2 row: global mean/max/imbalance, and the worst member's
+// share of its own region's total.
+func loadBalanceRow(name, topoName string, topo *topology.Topology, integrals []float64) LoadBalance {
+	row := LoadBalance{Protocol: name, Topology: topoName}
 	var sum float64
-	for _, v := range integrals {
+	regionSums := make([]float64, topo.NumRegions())
+	for id, v := range integrals {
 		sum += v
 		if v > row.MaxIntegral {
 			row.MaxIntegral = v
 		}
+		regionSums[topo.RegionOf(topology.NodeID(id))] += v
 	}
 	if len(integrals) > 0 {
 		row.MeanIntegral = sum / float64(len(integrals))
@@ -197,8 +233,12 @@ func loadBalanceRow(name string, integrals []float64) LoadBalance {
 	if row.MeanIntegral > 0 {
 		row.Imbalance = row.MaxIntegral / row.MeanIntegral
 	}
-	if sum > 0 {
-		row.MaxShare = row.MaxIntegral / sum
+	for id, v := range integrals {
+		if rs := regionSums[topo.RegionOf(topology.NodeID(id))]; rs > 0 {
+			if share := v / rs; share > row.MaxShare {
+				row.MaxShare = share
+			}
+		}
 	}
 	return row
 }

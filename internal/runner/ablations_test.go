@@ -48,22 +48,59 @@ func TestAblationLoadBalance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
-		t.Fatalf("%d rows", len(rows))
+	// Flat and two-level topologies, RRMP vs tree on each.
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
 	}
-	rrmpRow, treeRow := rows[0], rows[1]
-	// The tree server concentrates the load: imbalance must dwarf RRMP's.
-	if treeRow.Imbalance < 5*rrmpRow.Imbalance {
-		t.Fatalf("tree imbalance %.1f not ≫ rrmp %.1f", treeRow.Imbalance, rrmpRow.Imbalance)
+	for i := 0; i < len(rows); i += 2 {
+		rrmpRow, treeRow := rows[i], rows[i+1]
+		if rrmpRow.Topology != treeRow.Topology {
+			t.Fatalf("row pairing broken: %q vs %q", rrmpRow.Topology, treeRow.Topology)
+		}
+		// The byte-time integrals must be live, not the dead constant the
+		// message-second metric used to alias.
+		if rrmpRow.MeanIntegral <= 0 || treeRow.MeanIntegral <= 0 {
+			t.Fatalf("%s: zero byte-time integrals: rrmp %.1f tree %.1f",
+				rrmpRow.Topology, rrmpRow.MeanIntegral, treeRow.MeanIntegral)
+		}
+		// The tree server concentrates the load: imbalance must dwarf
+		// RRMP's on every topology.
+		if treeRow.Imbalance < 5*rrmpRow.Imbalance {
+			t.Fatalf("%s: tree imbalance %.1f not ≫ rrmp %.1f",
+				treeRow.Topology, treeRow.Imbalance, rrmpRow.Imbalance)
+		}
+		// The paper's §1 claim, per region: a repair server bears
+		// (essentially) the entire regional burden, while no RRMP member
+		// carries more than a small share of its region's.
+		if treeRow.MaxShare < 0.9 {
+			t.Fatalf("%s: tree server share %.2f, want ~1.0", treeRow.Topology, treeRow.MaxShare)
+		}
+		if rrmpRow.MaxShare > 0.3 {
+			t.Fatalf("%s: rrmp max member share %.2f, want well spread", rrmpRow.Topology, rrmpRow.MaxShare)
+		}
 	}
-	// The paper's §1 claim: the repair server bears (essentially) the
-	// entire regional burden, while no RRMP member carries more than a
-	// small share.
-	if treeRow.MaxShare < 0.9 {
-		t.Fatalf("tree server share %.2f, want ~1.0", treeRow.MaxShare)
+}
+
+// TestAblationLoadBalanceSized drives the payload-size model through A2:
+// a lognormal 1 KB payload must scale the byte-time integrals roughly
+// with the mean size, and the qualitative claim must survive variable
+// payloads.
+func TestAblationLoadBalanceSized(t *testing.T) {
+	small, err := AblationLoadBalanceSized(256, "", 2)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if rrmpRow.MaxShare > 0.2 {
-		t.Fatalf("rrmp max member share %.2f, want well spread", rrmpRow.MaxShare)
+	big, err := AblationLoadBalanceSized(1024, "lognormal", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big[1].MeanIntegral < 2*small[1].MeanIntegral {
+		t.Fatalf("1 KB lognormal tree integral %.0f not ≫ 256 B fixed %.0f",
+			big[1].MeanIntegral, small[1].MeanIntegral)
+	}
+	if big[1].MaxShare < 0.9 || big[0].MaxShare > 0.3 {
+		t.Fatalf("variable payloads broke the load-balance claim: rrmp %.2f tree %.2f",
+			big[0].MaxShare, big[1].MaxShare)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rng"
 	"repro/internal/rrmp"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -110,31 +111,157 @@ func PartitionClasses(topo *topology.Topology) map[topology.NodeID]int {
 	return classes
 }
 
+// scenarioLoss builds a scenario's DATA loss model from its dedicated rng
+// stream (nil when lossless). Both protocol kernels share it, so a seeded
+// cell drops the identical DATA packets under RRMP and RMTP — the common-
+// random-numbers design extended to the protocol axis.
+func scenarioLoss(sc exp.Scenario, seed uint64) netsim.LossModel {
+	if sc.Loss <= 0 {
+		return nil
+	}
+	only := map[wire.Type]bool{wire.TypeData: true}
+	lossRng := rng.New(seed).Split(lossStreamLabel)
+	if sc.Burst {
+		return &netsim.GilbertElliott{
+			PGood: sc.Loss / 4, PBad: 0.9,
+			PGB: 0.02, PBG: 0.2,
+			Only: only, Rng: lossRng,
+		}
+	}
+	return &netsim.BernoulliLoss{P: sc.Loss, Only: only, Rng: lossRng}
+}
+
+// faultInjector abstracts one protocol's fault operations so both kernels
+// schedule the identical fault timeline: the common-random-numbers design
+// across the protocol axis is only valid while the scheduling code is
+// literally shared, not merely similar.
+type faultInjector struct {
+	// excused reports whether the victim already left or crashed (a
+	// member drawn by both Poisson streams only has its first fault
+	// injected, and faults are counted at execution time).
+	excused func(victim topology.NodeID) bool
+	leave   func(victim topology.NodeID)
+	crash   func(victim topology.NodeID)
+	recover func(victim topology.NodeID)
+}
+
+// scheduleScenarioFaults schedules the scenario's churn, crash/recover and
+// partition timelines on the simulator from the shared dedicated streams
+// (ChurnStreamLabel, CrashStreamLabel), exactly as both protocol kernels
+// require: churn events first, then crash events (each with its optional
+// recovery), then the partition cut/heal pair. The returned counters are
+// live — read them after the run.
+func scheduleScenarioFaults(c *sim.Sim, net *netsim.Network, topo *topology.Topology,
+	all []topology.NodeID, sc exp.Scenario, seed uint64, inj faultInjector) (leaves, crashes *int) {
+	leaves, crashes = new(int), new(int)
+	var candidates []topology.NodeID
+	if sc.Churn > 0 || sc.Crash > 0 {
+		candidates = make([]topology.NodeID, 0, topo.NumNodes()-1)
+		for _, n := range all {
+			if n != topo.Sender() {
+				candidates = append(candidates, n)
+			}
+		}
+	}
+	if sc.Churn > 0 {
+		ScheduleChurn(rng.New(seed).Split(ChurnStreamLabel), sc.Churn, sc.Horizon,
+			candidates, func(at time.Duration, victim topology.NodeID) {
+				c.At(at, func() {
+					if inj.excused(victim) {
+						return
+					}
+					inj.leave(victim)
+					*leaves++
+				})
+			})
+	}
+	if sc.Crash > 0 {
+		ScheduleChurn(rng.New(seed).Split(CrashStreamLabel), sc.Crash, sc.Horizon,
+			candidates, func(at time.Duration, victim topology.NodeID) {
+				c.At(at, func() {
+					if inj.excused(victim) {
+						return
+					}
+					inj.crash(victim)
+					*crashes++
+				})
+				if sc.CrashRecover > 0 {
+					c.At(at+sc.CrashRecover, func() { inj.recover(victim) })
+				}
+			})
+	}
+	if sc.PartitionAt > 0 {
+		classes := PartitionClasses(topo)
+		c.At(sc.PartitionAt, func() { net.SetPartition(classes) })
+		if sc.PartitionDur > 0 {
+			c.At(sc.PartitionAt+sc.PartitionDur, func() { net.ClearPartition() })
+		}
+	}
+	return leaves, crashes
+}
+
+// reachMetrics fills the delivery/reach keys both protocol kernels share:
+// overall delivery ratio, the worst message's reach, and the
+// survivor-scoped variants (crashed and departed members are excused, so
+// these read as the reliability guarantee under the fault threat model).
+func reachMetrics(out map[string]float64, sc exp.Scenario, nNodes, survivors int,
+	delivered int64, ids []wire.MessageID,
+	received func(node topology.NodeID, id wire.MessageID) bool,
+	survivor func(node topology.NodeID) bool) {
+	if sc.Msgs <= 0 {
+		return
+	}
+	out["delivery_ratio"] = float64(delivered) / float64(nNodes*sc.Msgs)
+	minReach := nNodes
+	survMinReach := survivors
+	var survDelivered int64
+	for _, id := range ids {
+		got, survGot := 0, 0
+		for node := topology.NodeID(0); int(node) < nNodes; node++ {
+			if !received(node, id) {
+				continue
+			}
+			got++
+			if survivor(node) {
+				survGot++
+			}
+		}
+		if got < minReach {
+			minReach = got
+		}
+		if survGot < survMinReach {
+			survMinReach = survGot
+		}
+		survDelivered += int64(survGot)
+	}
+	out["min_reach_frac"] = float64(minReach) / float64(nNodes)
+	if survivors > 0 {
+		out["survivor_delivery_ratio"] = float64(survDelivered) / float64(survivors*len(ids))
+		out["survivor_min_reach_frac"] = float64(survMinReach) / float64(survivors)
+	}
+}
+
 // RunScenario builds one cluster for the scenario and runs its workload to
 // the horizon, returning the cell metrics exp aggregates. It is the
 // ScenarioFunc the sweep subsystem runs; everything it does is a pure
 // function of (sc, seed), which is what makes sweep aggregates reproducible
-// at any parallelism.
+// at any parallelism. Scenario.Protocol picks the kernel: the RRMP engine
+// (default) or the RMTP repair-server baseline (runTreeScenario).
 func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
+	switch sc.Protocol {
+	case "", "rrmp":
+		// The paper's protocol, below.
+	case "rmtp":
+		return runTreeScenario(sc, seed)
+	default:
+		return nil, fmt.Errorf("runner: unknown scenario protocol %q", sc.Protocol)
+	}
 	topo, err := scenarioTopology(sc)
 	if err != nil {
 		return nil, fmt.Errorf("runner: scenario topology: %w", err)
 	}
 
-	var loss netsim.LossModel
-	if sc.Loss > 0 {
-		only := map[wire.Type]bool{wire.TypeData: true}
-		lossRng := rng.New(seed).Split(lossStreamLabel)
-		if sc.Burst {
-			loss = &netsim.GilbertElliott{
-				PGood: sc.Loss / 4, PBad: 0.9,
-				PGB: 0.02, PBG: 0.2,
-				Only: only, Rng: lossRng,
-			}
-		} else {
-			loss = &netsim.BernoulliLoss{P: sc.Loss, Only: only, Rng: lossRng}
-		}
-	}
+	loss := scenarioLoss(sc, seed)
 
 	hold := sc.FixedHold
 	if hold <= 0 {
@@ -204,77 +331,28 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		})
 	}
 
-	// Churn: Poisson-timed graceful leaves of distinct random non-sender
-	// members, exercising §3.2's long-term handoff under load.
-	var candidates []topology.NodeID
-	if sc.Churn > 0 || sc.Crash > 0 {
-		candidates = make([]topology.NodeID, 0, topo.NumNodes()-1)
-		for _, n := range c.All {
-			if n != topo.Sender() {
-				candidates = append(candidates, n)
-			}
-		}
-	}
-	// The two Poisson streams draw victims independently, so a member can
-	// be picked by both; the second event is a no-op. Leaves and crashes
-	// are therefore counted at execution time, so the reported metrics are
-	// faults actually injected, not draws.
-	leaves := 0
-	if sc.Churn > 0 {
-		ScheduleChurn(rng.New(seed).Split(ChurnStreamLabel), sc.Churn, sc.Horizon,
-			candidates, func(at time.Duration, victim topology.NodeID) {
-				c.Sim.At(at, func() {
-					m := c.Members[victim]
-					if m.Left() || m.Crashed() {
-						return
-					}
-					m.Leave()
-					leaves++
-				})
-			})
-	}
-
-	// Crash faults: an independent Poisson process of ungraceful stops —
-	// no handoff, traffic cut — exercising §3.3's search recovery and the
-	// failure detector. With CrashRecover set, each victim returns after
-	// its downtime and re-recovers the gaps it missed.
-	crashes := 0
-	if sc.Crash > 0 {
-		ScheduleChurn(rng.New(seed).Split(CrashStreamLabel), sc.Crash, sc.Horizon,
-			candidates, func(at time.Duration, victim topology.NodeID) {
-				c.Sim.At(at, func() {
-					m := c.Members[victim]
-					if m.Left() || m.Crashed() {
-						return
-					}
-					m.Crash()
-					c.Net.SetDown(victim, true)
-					crashes++
-				})
-				if sc.CrashRecover > 0 {
-					c.Sim.At(at+sc.CrashRecover, func() {
-						c.Net.SetDown(victim, false)
-						c.Members[victim].Recover()
-					})
-				}
-			})
-	}
-
-	// Partition timeline: a deterministic cut at PartitionAt, healed
-	// PartitionDur later (never, if zero).
-	if sc.PartitionAt > 0 {
-		classes := PartitionClasses(topo)
-		c.Sim.At(sc.PartitionAt, func() { c.Net.SetPartition(classes) })
-		if sc.PartitionDur > 0 {
-			c.Sim.At(sc.PartitionAt+sc.PartitionDur, func() { c.Net.ClearPartition() })
-		}
-	}
+	// Churn (§3.2's handoff under load), crash faults (§3.3's search
+	// recovery and the failure detector, with optional per-victim
+	// recovery) and the partition timeline all come from the shared
+	// scheduler, so the rmtp kernel injects the identical fault sequence.
+	leaves, crashes := scheduleScenarioFaults(c.Sim, c.Net, topo, c.All, sc, seed, faultInjector{
+		excused: func(v topology.NodeID) bool { return c.Members[v].Left() || c.Members[v].Crashed() },
+		leave:   func(v topology.NodeID) { c.Members[v].Leave() },
+		crash: func(v topology.NodeID) {
+			c.Members[v].Crash()
+			c.Net.SetDown(v, true)
+		},
+		recover: func(v topology.NodeID) {
+			c.Net.SetDown(v, false)
+			c.Members[v].Recover()
+		},
+	})
 
 	c.Sim.RunUntil(sc.Horizon)
 
 	n := topo.NumNodes()
 	out := map[string]float64{
-		"leaves":       float64(leaves),
+		"leaves":       float64(*leaves),
 		"packets_sent": float64(c.Net.Stats().TotalSent()),
 		"bytes_sent":   float64(c.Net.Stats().TotalBytes()),
 		"events":       float64(c.Sim.Processed()),
@@ -319,39 +397,9 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 			unrecoverable += mm.Unrecoverable.Value()
 		}
 	}
-	if sc.Msgs > 0 {
-		out["delivery_ratio"] = float64(delivered) / float64(n*sc.Msgs)
-		minReach := n
-		survMinReach := survivors
-		var survDelivered int64
-		for _, id := range ids {
-			got, survGot := 0, 0
-			for _, m := range c.Members {
-				if !m.HasReceived(id) {
-					continue
-				}
-				got++
-				if !m.Crashed() && !m.Left() {
-					survGot++
-				}
-			}
-			if got < minReach {
-				minReach = got
-			}
-			if survGot < survMinReach {
-				survMinReach = survGot
-			}
-			survDelivered += int64(survGot)
-		}
-		out["min_reach_frac"] = float64(minReach) / float64(n)
-		if survivors > 0 {
-			// Survivor-scoped reach: crashed (and departed) members are
-			// excused, so these read as the paper's reliability guarantee
-			// under the crash-fault threat model.
-			out["survivor_delivery_ratio"] = float64(survDelivered) / float64(survivors*len(ids))
-			out["survivor_min_reach_frac"] = float64(survMinReach) / float64(survivors)
-		}
-	}
+	reachMetrics(out, sc, n, survivors, delivered, ids,
+		func(node topology.NodeID, id wire.MessageID) bool { return c.Members[node].HasReceived(id) },
+		func(node topology.NodeID) bool { return !c.Members[node].Crashed() && !c.Members[node].Left() })
 	out["duplicates"] = float64(duplicates)
 	out["local_requests"] = float64(localReq)
 	out["remote_requests"] = float64(remoteReq)
@@ -374,7 +422,7 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		out["pressure_evictions"] = float64(pressureEvictions)
 		out["budget_denials"] = float64(budgetDenials)
 	}
-	out["crashes"] = float64(crashes)
+	out["crashes"] = float64(*crashes)
 	out["suspects"] = float64(suspects)
 	out["unrecoverable"] = float64(unrecoverable)
 	out["partition_drops"] = float64(c.Net.Stats().PartitionDrops())

@@ -35,6 +35,50 @@ type TreeCluster struct {
 	All    []topology.NodeID
 }
 
+// ServerOf returns the repair server of a node's region (the region's
+// first member, by construction).
+func (c *TreeCluster) ServerOf(n topology.NodeID) topology.NodeID {
+	return c.Topo.MemberAt(c.Topo.RegionOf(n), 0)
+}
+
+// Leave departs a node gracefully: its timers stop and its ACK floor is
+// deregistered upstream (at its region server, or — for a repair server —
+// at the parent server) so the frozen floor cannot block trimming forever.
+// RMTP has no server-migration protocol, so a departing repair server
+// still orphans its region; that fragility is part of what the protocol
+// comparison measures.
+func (c *TreeCluster) Leave(victim topology.NodeID) {
+	node := c.Nodes[victim]
+	if node.Left() || node.Crashed() {
+		return
+	}
+	node.Leave()
+	server := c.ServerOf(victim)
+	if server == victim {
+		// A departing server deregisters from its parent, if any.
+		if p := c.Topo.Parent(c.Topo.RegionOf(victim)); p != topology.NoRegion {
+			c.Nodes[c.Topo.MemberAt(p, 0)].ForgetAcker(victim)
+		}
+		return
+	}
+	c.Nodes[server].ForgetAcker(victim)
+}
+
+// Crash fails a node ungracefully and cuts its network; its ACK floor
+// stays frozen at its server (a crashed member, unlike a leaver, cannot
+// deregister), so the server's buffer grows until recovery or the horizon.
+func (c *TreeCluster) Crash(victim topology.NodeID) {
+	c.Nodes[victim].Crash()
+	c.Net.SetDown(victim, true)
+}
+
+// Recover reconnects a crashed node and restarts its protocol loops; see
+// rmtp.Node.Recover.
+func (c *TreeCluster) Recover(victim topology.NodeID) {
+	c.Net.SetDown(victim, false)
+	c.Nodes[victim].Recover()
+}
+
 // NewTreeCluster builds the RMTP baseline deployment used by ablation A2
 // and the comparison benches.
 func NewTreeCluster(cfg TreeClusterConfig) (*TreeCluster, error) {
@@ -101,13 +145,15 @@ func (c *TreeCluster) CountReceived(seq uint64) int {
 // and returns both clusters quiesced at the horizon; comparison benches and
 // examples build on it.
 func RunBoth(topo *topology.Topology, msgs int, gap time.Duration, seed uint64, horizon time.Duration) (*Cluster, *TreeCluster, error) {
+	// One backing buffer serves every publish, as in the sweep runner: the
+	// engine never mutates payloads, so both protocols alias it safely.
+	payload := make([]byte, 64)
 	c, err := NewCluster(ClusterConfig{Topo: topo, Seed: seed})
 	if err != nil {
 		return nil, nil, err
 	}
 	for i := 0; i < msgs; i++ {
-		i := i
-		c.Sim.At(time.Duration(i)*gap, func() { c.Sender.Publish(make([]byte, 64)) })
+		c.Sim.At(time.Duration(i)*gap, func() { c.Sender.Publish(payload) })
 	}
 	c.Sim.RunUntil(horizon)
 
@@ -119,8 +165,7 @@ func RunBoth(topo *topology.Topology, msgs int, gap time.Duration, seed uint64, 
 		n.StartAcks()
 	}
 	for i := 0; i < msgs; i++ {
-		i := i
-		t.Sim.At(time.Duration(i)*gap, func() { t.Sender.Publish(make([]byte, 64)) })
+		t.Sim.At(time.Duration(i)*gap, func() { t.Sender.Publish(payload) })
 	}
 	t.Sim.RunUntil(horizon)
 	return c, t, nil

@@ -1,0 +1,156 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/rmtp"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// runTreeScenario is RunScenario's kernel for Scenario.Protocol == "rmtp":
+// the same topology, loss stream, publish workload, churn, crash,
+// partition and byte-budget machinery, driven through an RMTP tree
+// cluster (one repair server per region, parented along the region
+// hierarchy). It emits the shared metric names (delivery, reach, buffer
+// integrals in message- and byte-seconds, traffic, faults) plus the
+// RMTP-specific nak_*/ack_* counters; RRMP-only keys (searches, handoffs,
+// long_term_entries, ...) never appear in rmtp cells and vice versa, so
+// the legacy key sets stay untouched.
+func runTreeScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
+	switch sc.Policy {
+	case "", "server":
+		// The baseline has exactly one buffering discipline: the repair
+		// server buffers all under ACK trimming (exp.Sweep collapses the
+		// policy axis to "server" for rmtp cells).
+	default:
+		return nil, fmt.Errorf("runner: rmtp scenario policy %q (the repair-server baseline has no policy axis; use %q)", sc.Policy, "server")
+	}
+	topo, err := scenarioTopology(sc)
+	if err != nil {
+		return nil, fmt.Errorf("runner: scenario topology: %w", err)
+	}
+
+	params := rmtp.DefaultParams()
+	params.ByteBudget = sc.ByteBudget
+	c, err := NewTreeCluster(TreeClusterConfig{
+		Topo:   topo,
+		Params: params,
+		Seed:   seed,
+		Loss:   scenarioLoss(sc, seed),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: scenario tree cluster: %w", err)
+	}
+	for _, node := range c.Nodes {
+		node.StartAcks()
+	}
+	c.Sender.StartSessions()
+
+	sizes, maxSize, err := PayloadSizesFor(sc.PayloadModel, sc.PayloadBytes, sc.Msgs, seed)
+	if err != nil {
+		return nil, fmt.Errorf("runner: scenario payload model: %w", err)
+	}
+	ids := make([]wire.MessageID, 0, sc.Msgs)
+	// One backing buffer serves every publish, as in the RRMP kernel.
+	payloadBuf := make([]byte, maxSize)
+	for i := 0; i < sc.Msgs; i++ {
+		i := i
+		c.Sim.At(time.Duration(i)*sc.Gap, func() {
+			ids = append(ids, c.Sender.Publish(payloadBuf[:sizes[i]]))
+		})
+	}
+
+	// The fault timeline comes from the shared scheduler, so a seeded
+	// cell injects the identical churn/crash/partition sequence under
+	// both protocols (the victims differ only in what failing *means*:
+	// no handoff protocol, frozen ACK floors, orphaned regions).
+	leaves, crashes := scheduleScenarioFaults(c.Sim, c.Net, topo, c.All, sc, seed, faultInjector{
+		excused: func(v topology.NodeID) bool { return c.Nodes[v].Left() || c.Nodes[v].Crashed() },
+		leave:   c.Leave,
+		crash:   c.Crash,
+		recover: c.Recover,
+	})
+
+	c.Sim.RunUntil(sc.Horizon)
+
+	n := topo.NumNodes()
+	out := map[string]float64{
+		"leaves":       float64(*leaves),
+		"packets_sent": float64(c.Net.Stats().TotalSent()),
+		"bytes_sent":   float64(c.Net.Stats().TotalBytes()),
+		"events":       float64(c.Sim.Processed()),
+	}
+	var delivered, duplicates, repairs int64
+	var nakSent, nakRecv, ackSent, ackRecv, giveUps, unrecoverable int64
+	var bufferIntegral, byteIntegral float64
+	var peak, peakBytes, ackTrims, survivors int
+	var pressureEvictions, budgetDenials int
+	var recSum, recN, bufSum, bufN float64
+	for _, node := range c.Nodes {
+		mm := node.Metrics()
+		delivered += mm.Delivered.Value()
+		duplicates += mm.Duplicates.Value()
+		repairs += mm.RepairsSent.Value()
+		nakSent += mm.NaksSent.Value()
+		nakRecv += mm.NaksRecv.Value()
+		ackSent += mm.AcksSent.Value()
+		ackRecv += mm.AcksRecv.Value()
+		giveUps += mm.GiveUps.Value()
+		if b := node.Buffer(); b != nil {
+			bufferIntegral += b.OccupancyIntegral(c.Sim.Now())
+			byteIntegral += b.ByteOccupancyIntegral(c.Sim.Now())
+			if p := b.PeakLen(); p > peak {
+				peak = p
+			}
+			if p := b.PeakBytes(); p > peakBytes {
+				peakBytes = p
+			}
+			ackTrims += b.EvictedCount(core.EvictStable)
+			pressureEvictions += b.EvictedCount(core.EvictPressure)
+			budgetDenials += b.DeniedCount()
+		}
+		recSum += mm.RecoveryLatency.Mean() * float64(mm.RecoveryLatency.N())
+		recN += float64(mm.RecoveryLatency.N())
+		bufSum += mm.BufferingTime.Mean() * float64(mm.BufferingTime.N())
+		bufN += float64(mm.BufferingTime.N())
+		if !node.Crashed() && !node.Left() {
+			survivors++
+			unrecoverable += mm.Unrecoverable.Value()
+		}
+	}
+	reachMetrics(out, sc, n, survivors, delivered, ids,
+		func(node topology.NodeID, id wire.MessageID) bool { return c.Nodes[node].HasReceived(id.Seq) },
+		func(node topology.NodeID) bool { return !c.Nodes[node].Crashed() && !c.Nodes[node].Left() })
+	out["duplicates"] = float64(duplicates)
+	out["repairs"] = float64(repairs)
+	out["nak_sent"] = float64(nakSent)
+	out["nak_recv"] = float64(nakRecv)
+	out["ack_sent"] = float64(ackSent)
+	out["ack_recv"] = float64(ackRecv)
+	out["ack_trim"] = float64(ackTrims)
+	out["nak_giveups"] = float64(giveUps)
+	out["buffer_integral_msgsec"] = bufferIntegral
+	out["peak_buffered"] = float64(peak)
+	// Byte-currency keys follow the RRMP rule: only cells that engage the
+	// payload or budget axes carry them.
+	if sc.PayloadBytes > 0 || sc.ByteBudget > 0 || sc.PayloadModel != "" {
+		out["buffer_integral_bytesec"] = byteIntegral
+		out["peak_buffered_bytes"] = float64(peakBytes)
+		out["pressure_evictions"] = float64(pressureEvictions)
+		out["budget_denials"] = float64(budgetDenials)
+	}
+	out["crashes"] = float64(*crashes)
+	out["unrecoverable"] = float64(unrecoverable)
+	out["partition_drops"] = float64(c.Net.Stats().PartitionDrops())
+	if recN > 0 {
+		out["mean_recovery_ms"] = recSum / recN
+	}
+	if bufN > 0 {
+		out["mean_buffering_ms"] = bufSum / bufN
+	}
+	return out, nil
+}

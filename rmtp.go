@@ -1,0 +1,41 @@
+package repro
+
+import (
+	"repro/internal/rmtp"
+	"repro/internal/runner"
+)
+
+// RMTP-baseline identifiers, re-exported so facade users can build and
+// inspect tree-protocol deployments without importing internals. The
+// protocol is also reachable declaratively: Scenario.Protocol = "rmtp"
+// (or Sweep.Protocols) runs any scenario cell under the baseline through
+// RunScenario / RunSweep.
+type (
+	// RMTPParams tunes the tree baseline (NAK/ACK timers, retry budget,
+	// byte budget, copy-on-store) — the rmtp side of Params.
+	RMTPParams = rmtp.Params
+	// RMTPNode is one tree-protocol participant (receiver or repair
+	// server).
+	RMTPNode = rmtp.Node
+	// RMTPMetrics are per-node baseline counters (NAKs, ACKs, give-ups,
+	// unrecoverable losses, recovery latency).
+	RMTPMetrics = rmtp.Metrics
+	// TreeCluster is a fully wired RMTP deployment: one repair server per
+	// region, parented along the region hierarchy.
+	TreeCluster = runner.TreeCluster
+	// TreeClusterConfig describes a TreeCluster (topology, params, seed,
+	// loss model).
+	TreeClusterConfig = runner.TreeClusterConfig
+)
+
+// DefaultRMTPParams returns the baseline's defaults, chosen to mirror the
+// RRMP defaults for fair comparison.
+func DefaultRMTPParams() RMTPParams { return rmtp.DefaultParams() }
+
+// NewTreeCluster builds an RMTP-baseline deployment on the given topology:
+// the first member of each region becomes its repair server and the root
+// region's server is the sender. The cluster exposes the same fault
+// surface the RRMP facade has: Leave, Crash and Recover.
+func NewTreeCluster(cfg TreeClusterConfig) (*TreeCluster, error) {
+	return runner.NewTreeCluster(cfg)
+}
