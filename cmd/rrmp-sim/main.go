@@ -69,6 +69,7 @@ func main() {
 		msgs         = flag.Int("msgs", 20, "messages to publish")
 		gap          = flag.Duration("gap", 20*time.Millisecond, "inter-message gap")
 		loss         = flag.Float64("loss", 0.2, "independent DATA loss probability")
+		lossMode     = flag.String("loss-mode", "", "loss stream model: '' = legacy shared stream (serial-only), 'hash' = per-sender counter hash (shard-safe, runs parallel under -shards)")
 		burst        = flag.Bool("burst", false, "use a Gilbert-Elliott burst loss channel instead")
 		churn        = flag.Float64("churn", 0, "graceful leaves per second (Poisson over non-sender members)")
 		crash        = flag.Float64("crash", 0, "crash faults per second (Poisson over non-sender members; no handoff)")
@@ -93,6 +94,7 @@ func main() {
 		sweepScale = flag.Bool("sweep-scale", false, "run the scale matrix (members×depth balanced trees) and record wall-clock + events/sec")
 		trials     = flag.Int("trials", 1, "independently seeded trials per scenario cell")
 		parallel   = flag.Int("parallel", 0, "worker pool size for trials (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 1, "region-sharded event loops per trial (1 = serial; aggregates are byte-identical at any width)")
 		jsonOut    = flag.Bool("json", false, "print the sweep report as JSON instead of a table")
 		outPath    = flag.String("out", "", "also write the sweep report JSON here (default BENCH_sweep.json for a default-matrix -sweep; empty = don't)")
 
@@ -123,7 +125,7 @@ func main() {
 		case "out":
 			outSet = true
 		case "regions", "star", "tree", "burst", "msgs", "gap", "horizon", "hold",
-			"c", "lambda", "backoff", "seed", "churn", "loss", "policy",
+			"c", "lambda", "backoff", "seed", "churn", "loss", "loss-mode", "policy",
 			"crash", "crash-recover", "partition-at", "partition-for",
 			"payload", "payload-model", "budget", "protocol",
 			"sweep-regions", "sweep-losses", "sweep-churns", "sweep-crashes",
@@ -156,20 +158,20 @@ func main() {
 	var err error
 	if *sweepScale {
 		err = runScale(scaleArgs{
-			trials: *trials, parallel: *parallel, seed: *seed,
+			trials: *trials, parallel: *parallel, seed: *seed, shards: *shards,
 			json: *jsonOut, outPath: *outPath, swTrees: *swTrees,
 		})
 	} else if *sweep || *trials > 1 {
 		err = runSweep(sweepArgs{
 			sweep: *sweep, regionsCSV: *regions, star: *star, tree: *tree, msgs: *msgs, gap: *gap,
-			loss: *loss, burst: *burst, churn: *churn, c: *c, lambda: *lambda,
+			loss: *loss, lossMode: *lossMode, burst: *burst, churn: *churn, c: *c, lambda: *lambda,
 			backoff: *backoff, policy: *policy, hold: *hold,
 			crash: *crash, crashRecover: *crashRecover,
 			partitionAt: *partitionAt, partitionFor: *partitionFor,
 			payload: *payload, payloadModel: *payloadModel, budget: *budget,
 			protocol: *protocol, protocolSet: protocolSet,
 			seed: *seed, horizon: *horizon, trials: *trials, parallel: *parallel,
-			json: *jsonOut, outPath: *outPath,
+			shards: *shards, json: *jsonOut, outPath: *outPath,
 			swRegions: *swRegions, swLosses: *swLosses, swChurns: *swChurns,
 			swCrashes: *swCrashes, swPartitions: *swPartitions, swPolicies: *swPolicies,
 			swTrees: *swTrees, swPayloads: *swPayloads, swBudgets: *swBudgets,
@@ -178,13 +180,13 @@ func main() {
 	} else {
 		err = run(singleArgs{
 			regionsCSV: *regions, star: *star, tree: *tree, msgs: *msgs, gap: *gap,
-			loss: *loss, burst: *burst, churn: *churn, c: *c, lambda: *lambda,
+			loss: *loss, lossMode: *lossMode, burst: *burst, churn: *churn, c: *c, lambda: *lambda,
 			policy: *policy, hold: *hold, seed: *seed, horizon: *horizon,
 			doTrace: *doTrace, traceOut: *traceOut, backoff: *backoff,
 			crash: *crash, crashRecover: *crashRecover,
 			partitionAt: *partitionAt, partitionFor: *partitionFor,
 			payload: *payload, payloadModel: *payloadModel, budget: *budget,
-			protocol: *protocol,
+			protocol: *protocol, shards: *shards,
 		})
 	}
 	if err != nil {
@@ -288,13 +290,17 @@ func parseDurations(csv string) ([]time.Duration, error) {
 }
 
 type sweepArgs struct {
-	sweep        bool
-	regionsCSV   string
-	star         bool
-	tree         string
-	msgs         int
-	gap          time.Duration
-	loss         float64
+	sweep      bool
+	regionsCSV string
+	star       bool
+	tree       string
+	msgs       int
+	gap        time.Duration
+	loss       float64
+	// lossMode sets Sweep.LossMode: "" is the legacy shared stream,
+	// "hash" the shard-safe per-sender counter hash. Part of cell
+	// identity (it changes which packets drop), unlike shards.
+	lossMode     string
 	burst        bool
 	churn        float64
 	crash        float64
@@ -317,8 +323,11 @@ type sweepArgs struct {
 	horizon     time.Duration
 	trials      int
 	parallel    int
-	json        bool
-	outPath     string
+	// shards sets Sweep.Shards: region-sharded event loops per trial.
+	// Execution-only (like parallel) — aggregates stay byte-identical.
+	shards  int
+	json    bool
+	outPath string
 	// quiet suppresses stdout reporting (the in-process golden test only
 	// compares the -out files).
 	quiet        bool
@@ -470,7 +479,9 @@ func runSweep(a sweepArgs) error {
 		sw.Protocols = []string{a.protocol}
 	}
 	sw.Star = a.star
+	sw.LossMode = a.lossMode
 	sw.Burst = a.burst
+	sw.Shards = a.shards
 	sw.FixedHold = a.hold
 	sw.C = a.c
 	sw.Lambda = a.lambda
@@ -517,9 +528,12 @@ type scaleArgs struct {
 	trials   int
 	parallel int
 	seed     uint64
-	json     bool
-	outPath  string
-	swTrees  string
+	// shards sets Sweep.Shards on every scale row (execution-only; the
+	// aggregate sections stay byte-identical at any width).
+	shards  int
+	json    bool
+	outPath string
+	swTrees string
 	// quiet suppresses stdout reporting (in-process tests).
 	quiet bool
 }
@@ -529,18 +543,27 @@ type scaleArgs struct {
 // committed perf-trajectory record every PR regenerates).
 func runScale(a scaleArgs) error {
 	sw := repro.ScaleSweep()
+	sw.Shards = a.shards
+	// The default grid appends the XL rows (10k/100k members) after the
+	// standing matrix; -sweep-trees replaces the whole grid instead.
+	var sweeps []repro.Sweep
 	if a.swTrees != "" {
 		trees, err := parseTreeShapes(a.swTrees)
 		if err != nil {
 			return err
 		}
 		sw.Trees = trees
+		sweeps = []repro.Sweep{sw}
+	} else {
+		xl := repro.ScaleSweepXL()
+		xl.Shards = a.shards
+		sweeps = []repro.Sweep{sw, xl}
 	}
 	rep, err := repro.RunScale(repro.SweepOptions{
 		Trials:   a.trials,
 		Parallel: a.parallel,
 		BaseSeed: a.seed,
-	}, sw)
+	}, sweeps...)
 	if err != nil {
 		return err
 	}
@@ -649,6 +672,7 @@ type singleArgs struct {
 	msgs         int
 	gap          time.Duration
 	loss         float64
+	lossMode     string
 	burst        bool
 	churn        float64
 	crash        float64
@@ -663,11 +687,14 @@ type singleArgs struct {
 	payloadModel string
 	budget       int
 	protocol     string
-	seed         uint64
-	horizon      time.Duration
-	doTrace      bool
-	traceOut     string
-	backoff      time.Duration
+	// shards requests region-sharded event loops (1 = serial; lossy cells
+	// with the legacy shared loss stream fall back to serial).
+	shards   int
+	seed     uint64
+	horizon  time.Duration
+	doTrace  bool
+	traceOut string
+	backoff  time.Duration
 }
 
 // runSingleRMTP runs one seeded trial of the tree baseline by building the
@@ -678,6 +705,7 @@ func runSingleRMTP(a singleArgs) error {
 	sc := repro.Scenario{
 		Protocol: "rmtp",
 		Loss:     a.loss,
+		LossMode: a.lossMode,
 		Burst:    a.burst,
 		Churn:    a.churn,
 		Crash:    a.crash,
@@ -765,6 +793,9 @@ func run(a singleArgs) error {
 		repro.WithSeed(seed),
 		repro.WithParams(params),
 	}
+	if a.shards > 1 {
+		opts = append(opts, repro.WithShards(a.shards))
+	}
 	switch {
 	case a.tree != "":
 		shape, err := parseTreeShape(a.tree)
@@ -777,10 +808,20 @@ func run(a singleArgs) error {
 	default:
 		opts = append(opts, repro.WithRegions(sizes...))
 	}
+	switch a.lossMode {
+	case "", "hash":
+	default:
+		return fmt.Errorf("unknown loss mode %q (want '' or 'hash')", a.lossMode)
+	}
 	if loss > 0 {
-		if a.burst {
+		switch {
+		case a.burst && a.lossMode == "hash":
+			return fmt.Errorf("-loss-mode hash does not support -burst")
+		case a.burst:
 			opts = append(opts, repro.WithBurstDataLoss(loss))
-		} else {
+		case a.lossMode == "hash":
+			opts = append(opts, repro.WithHashDataLoss(loss))
+		default:
 			opts = append(opts, repro.WithDataLoss(loss))
 		}
 	}

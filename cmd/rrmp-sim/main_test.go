@@ -222,31 +222,36 @@ func TestSweepReportMatchesGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := filepath.Join(t.TempDir(), "sweep.json")
-	if err := runSweep(sweepArgs{
-		sweep:       true,
-		swRegions:   "8;6,6",
-		swPayloads:  "0",
-		swBudgets:   "0",
-		swProtocols: "rrmp",
-		// Flag defaults the CLI bakes into every sweep, spelled out because
-		// runSweep is invoked below flag parsing.
-		c: 6, lambda: 1, hold: 500 * time.Millisecond,
-		msgs: 20, gap: 20 * time.Millisecond, horizon: 5 * time.Second,
-		trials:   2,
-		parallel: 4,
-		seed:     1,
-		outPath:  out,
-		quiet:    true,
-	}); err != nil {
-		t.Fatal(err)
-	}
-	got, err := os.ReadFile(out)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got, golden) {
-		t.Fatal("sweep report diverged from the pre-rewrite golden (testdata/sweep_golden.json); the hot-path rewrite must be behaviour-preserving")
+	// -shards is an execution knob like -parallel: the golden bytes must
+	// survive the region-sharded engine at any width.
+	for _, shards := range []int{1, 8} {
+		out := filepath.Join(t.TempDir(), "sweep.json")
+		if err := runSweep(sweepArgs{
+			sweep:       true,
+			swRegions:   "8;6,6",
+			swPayloads:  "0",
+			swBudgets:   "0",
+			swProtocols: "rrmp",
+			// Flag defaults the CLI bakes into every sweep, spelled out because
+			// runSweep is invoked below flag parsing.
+			c: 6, lambda: 1, hold: 500 * time.Millisecond,
+			msgs: 20, gap: 20 * time.Millisecond, horizon: 5 * time.Second,
+			trials:   2,
+			parallel: 4,
+			shards:   shards,
+			seed:     1,
+			outPath:  out,
+			quiet:    true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, golden) {
+			t.Fatalf("-shards %d sweep report diverged from the pre-rewrite golden (testdata/sweep_golden.json); the hot-path rewrite must be behaviour-preserving", shards)
+		}
 	}
 }
 
@@ -258,12 +263,13 @@ func TestSweepReportMatchesGolden(t *testing.T) {
 // scale cells.
 func TestScaleAggregatesByteIdenticalAcrossParallelism(t *testing.T) {
 	dir := t.TempDir()
-	report := func(parallel int) []byte {
+	report := func(parallel, shards int) []byte {
 		t.Helper()
 		out := filepath.Join(dir, "scale.json")
 		if err := runScale(scaleArgs{
 			trials:   2,
 			parallel: parallel,
+			shards:   shards,
 			seed:     1,
 			outPath:  out,
 			swTrees:  "4:2:120;4:3:150",
@@ -296,10 +302,14 @@ func TestScaleAggregatesByteIdenticalAcrossParallelism(t *testing.T) {
 		return canon
 	}
 
-	serial := report(1)
-	wide := report(8)
+	serial := report(1, 1)
+	wide := report(8, 1)
 	if !bytes.Equal(serial, wide) {
 		t.Fatal("scale aggregates differ between -parallel 1 and -parallel 8")
+	}
+	sharded := report(8, 4)
+	if !bytes.Equal(serial, sharded) {
+		t.Fatal("scale aggregates differ between -shards 1 and -shards 4")
 	}
 }
 

@@ -25,9 +25,15 @@ import "time"
 
 // Event is a callback scheduled to run at a virtual time.
 type Event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at time.Duration
+	// pushAt and src extend the ordering key for sharded simulation (see
+	// PushKeyed). Push leaves both zero, so single-queue users keep the
+	// plain (at, seq) order: with pushAt and src constant, the extended
+	// comparison reduces to (at, seq) exactly.
+	pushAt time.Duration
+	src    int32
+	seq    uint64
+	fn     func()
 
 	// index is the element's position in the heap, or -1 once removed.
 	index int
@@ -58,14 +64,27 @@ func (q *Queue) Len() int { return len(q.heap) }
 // be passed to Remove or (with its Gen) Cancel. Scheduling in the past is
 // allowed (the simulator clamps, firing such events "now").
 func (q *Queue) Push(at time.Duration, fn func()) *Event {
+	return q.PushKeyed(at, 0, 0, fn)
+}
+
+// PushKeyed schedules fn at virtual time at under the extended ordering key
+// (at, pushAt, src, seq). The sharded simulator uses it to merge event
+// streams from several shards into one total order that matches what a
+// single loop would have produced: pushAt is the virtual time the pushing
+// context observed when it scheduled the event, src is a stable context
+// index breaking cross-shard ties, and seq (assigned here) preserves each
+// context's own push order. In a serial simulation pushAt is nondecreasing
+// in seq, so (at, pushAt, src, seq) with constant src orders identically to
+// the legacy (at, seq) key.
+func (q *Queue) PushKeyed(at, pushAt time.Duration, src int32, fn func()) *Event {
 	var e *Event
 	if n := len(q.free); n > 0 {
 		e = q.free[n-1]
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]
-		e.at, e.seq, e.fn, e.index = at, q.nextSeq, fn, len(q.heap)
+		e.at, e.pushAt, e.src, e.seq, e.fn, e.index = at, pushAt, src, q.nextSeq, fn, len(q.heap)
 	} else {
-		e = &Event{at: at, seq: q.nextSeq, fn: fn, index: len(q.heap)}
+		e = &Event{at: at, pushAt: pushAt, src: src, seq: q.nextSeq, fn: fn, index: len(q.heap)}
 	}
 	q.nextSeq++
 	q.heap = append(q.heap, e)
@@ -169,6 +188,12 @@ func (q *Queue) less(i, j int) bool {
 	a, b := q.heap[i], q.heap[j]
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.pushAt != b.pushAt {
+		return a.pushAt < b.pushAt
+	}
+	if a.src != b.src {
+		return a.src < b.src
 	}
 	return a.seq < b.seq
 }

@@ -57,6 +57,14 @@ type poster interface {
 	Post(d time.Duration, fn func())
 }
 
+// ShardRouter is the sharded simulator's delivery primitive: schedule fn
+// after d on the event loop owning node to, sent from node from's context.
+// *sim.Sharded implements it; EnableSharding routes all deliveries through
+// it instead of the plain post path.
+type ShardRouter interface {
+	PostFrom(from, to int32, d time.Duration, fn func())
+}
+
 // Network delivers packets between registered nodes over a clock.Scheduler.
 type Network struct {
 	sched   clock.Scheduler
@@ -79,6 +87,20 @@ type Network struct {
 	// pool recycles delivery records; each carries a pre-bound callback so
 	// scheduling an in-flight packet allocates nothing in steady state.
 	pool []*delivery
+
+	// Sharded-execution state (nil/empty unless EnableSharding ran).
+	// shardOf maps NodeID -> shard; counters and pools become per-shard so
+	// concurrent shard loops never touch one counter or free list: sends
+	// account to (and allocate from) the sending node's shard, deliveries
+	// account to (and recycle into) the receiving node's shard, and each
+	// shard's state is only ever touched by its own loop or by the
+	// coordinator between windows. Records migrate between pools on
+	// cross-shard packets, which is safe for the same reason.
+	router  ShardRouter
+	shardOf []int32
+	shStats []Stats
+	pools   [][]*delivery
+	merged  Stats
 }
 
 // delivery is one in-flight packet. fire is bound once at construction and
@@ -249,8 +271,46 @@ func (n *Network) Partitioned(a, b topology.NodeID) bool {
 	return n.classOf(a) != n.classOf(b)
 }
 
-// Stats returns the traffic counters (live view).
-func (n *Network) Stats() *Stats { return &n.stats }
+// EnableSharding switches the network onto a sharded simulator: deliveries
+// route through r (landing on the shard loop owning the destination node)
+// and traffic accounting splits per shard. Call it once, before any
+// traffic, with shardOf covering every node. The down/partition tables stay
+// shared — they are only mutated by barrier-executed fault events, which
+// the sharded engine serializes against all shard loops.
+func (n *Network) EnableSharding(r ShardRouter, shardOf []int32, shards int) {
+	if r == nil || shards < 1 {
+		panic("netsim: EnableSharding with nil router or no shards")
+	}
+	n.router = r
+	n.shardOf = shardOf
+	n.shStats = make([]Stats, shards)
+	n.pools = make([][]*delivery, shards)
+}
+
+// Stats returns the traffic counters. Unsharded this is a live view; when
+// sharding is enabled it is a snapshot merged across shards, recomputed on
+// every call (call it only between runs).
+func (n *Network) Stats() *Stats {
+	if n.shardOf == nil {
+		return &n.stats
+	}
+	n.merged = n.stats
+	for i := range n.shStats {
+		n.merged.add(&n.shStats[i])
+	}
+	return &n.merged
+}
+
+// add accumulates o's counters into s.
+func (s *Stats) add(o *Stats) {
+	for i := 0; i < wire.TypeCount; i++ {
+		s.sent[i].Add(o.sent[i].Value())
+		s.delivered[i].Add(o.delivered[i].Value())
+		s.dropped[i].Add(o.dropped[i].Value())
+		s.bytes[i].Add(o.bytes[i].Value())
+	}
+	s.Partitioned.Add(o.Partitioned.Value())
+}
 
 // getDelivery takes a pooled delivery record, or builds one with its
 // callback pre-bound.
@@ -266,6 +326,20 @@ func (n *Network) getDelivery() *delivery {
 	return d
 }
 
+// getDeliveryShard is getDelivery against the sending shard's pool.
+func (n *Network) getDeliveryShard(shard int32) *delivery {
+	pool := n.pools[shard]
+	if k := len(pool); k > 0 {
+		d := pool[k-1]
+		pool[k-1] = nil
+		n.pools[shard] = pool[:k-1]
+		return d
+	}
+	d := &delivery{n: n}
+	d.fn = d.fire
+	return d
+}
+
 // fire completes an in-flight packet: re-check liveness and connectivity at
 // delivery time (the node may have crashed, or a partition may have cut the
 // path, while the packet was in flight), then dispatch to the handler. The
@@ -274,16 +348,25 @@ func (n *Network) getDelivery() *delivery {
 func (d *delivery) fire() {
 	n, from, to, msg, size := d.n, d.from, d.to, d.msg, d.size
 	d.msg = wire.Message{} // drop payload references while pooled
-	n.pool = append(n.pool, d)
+	st := &n.stats
+	if n.shardOf == nil {
+		n.pool = append(n.pool, d)
+	} else {
+		// Delivery runs on the receiving node's shard loop: recycle into
+		// and account against that shard's state.
+		sh := n.shardOf[to]
+		n.pools[sh] = append(n.pools[sh], d)
+		st = &n.shStats[sh]
+	}
 
 	ti := int(msg.Type) % wire.TypeCount
 	if n.partActive && n.classOf(from) != n.classOf(to) {
-		n.stats.Partitioned.Inc()
-		n.stats.dropped[ti].Inc()
+		st.Partitioned.Inc()
+		st.dropped[ti].Inc()
 		return
 	}
 	if n.isDown(to) {
-		n.stats.dropped[ti].Inc()
+		st.dropped[ti].Inc()
 		return
 	}
 	var h Handler
@@ -291,10 +374,10 @@ func (d *delivery) fire() {
 		h = n.handlers[to]
 	}
 	if h == nil {
-		n.stats.dropped[ti].Inc()
+		st.dropped[ti].Inc()
 		return
 	}
-	n.stats.delivered[ti].Inc()
+	st.delivered[ti].Inc()
 	h(Packet{From: from, To: to, Msg: msg, Size: size})
 }
 
@@ -302,19 +385,35 @@ func (d *delivery) fire() {
 func (n *Network) Unicast(from, to topology.NodeID, msg wire.Message) {
 	size := msg.EncodedSize()
 	ti := int(msg.Type) % wire.TypeCount
-	n.stats.sent[ti].Inc()
-	n.stats.bytes[ti].Add(int64(size))
+	st := &n.stats
+	var sendShard int32
+	if n.shardOf != nil {
+		// Send runs on the sending node's shard loop (or the coordinator,
+		// which is exclusive): account against that shard's state. The
+		// loss model must likewise be shard-safe here (see HashLoss).
+		sendShard = n.shardOf[from]
+		st = &n.shStats[sendShard]
+	}
+	st.sent[ti].Inc()
+	st.bytes[ti].Add(int64(size))
 	if n.partActive && n.classOf(from) != n.classOf(to) {
-		n.stats.Partitioned.Inc()
-		n.stats.dropped[ti].Inc()
+		st.Partitioned.Inc()
+		st.dropped[ti].Inc()
 		return
 	}
 	if n.isDown(from) || n.isDown(to) || n.loss.Drop(from, to, msg.Type) {
-		n.stats.dropped[ti].Inc()
+		st.dropped[ti].Inc()
 		return
 	}
 	lat := n.latency.OneWay(from, to)
-	d := n.getDelivery()
+	var d *delivery
+	if n.shardOf != nil {
+		d = n.getDeliveryShard(sendShard)
+		d.from, d.to, d.msg, d.size = from, to, msg, size
+		n.router.PostFrom(int32(from), int32(to), lat, d.fn)
+		return
+	}
+	d = n.getDelivery()
 	d.from, d.to, d.msg, d.size = from, to, msg, size
 	n.post(lat, d.fn)
 }
@@ -359,6 +458,49 @@ func (b *BernoulliLoss) Drop(_, _ topology.NodeID, t wire.Type) bool {
 }
 
 var _ LossModel = (*BernoulliLoss)(nil)
+
+// HashLoss drops each packet independently with probability P, drawing from
+// a per-sender counter-hash stream instead of one shared rng: packet k sent
+// by node f is dropped iff hash(Seed, f, k) falls below P. Because each
+// sender's draw sequence depends only on that sender's own send order —
+// which a deterministic shard loop preserves — the model gives
+// byte-identical loss patterns at any shard count, where a shared-stream
+// model (BernoulliLoss) would entangle the global send interleaving. If
+// Only is non-empty, loss applies exclusively to the listed types (other
+// types consume no draw).
+type HashLoss struct {
+	P    float64
+	Seed uint64
+	Only map[wire.Type]bool
+
+	// ctr[f] counts loss draws by sender f. Pre-sized at construction so
+	// concurrent shard loops never grow the slice.
+	ctr []uint64
+}
+
+// NewHashLoss builds a HashLoss covering nodes [0, n).
+func NewHashLoss(seed uint64, p float64, n int, only map[wire.Type]bool) *HashLoss {
+	return &HashLoss{P: p, Seed: seed, Only: only, ctr: make([]uint64, n)}
+}
+
+// Drop implements LossModel.
+func (h *HashLoss) Drop(from, _ topology.NodeID, t wire.Type) bool {
+	if len(h.Only) > 0 && !h.Only[t] {
+		return false
+	}
+	k := h.ctr[from]
+	h.ctr[from] = k + 1
+	// splitmix64 finalizer over (Seed, from, k).
+	z := h.Seed + 0x9e3779b97f4a7c15*(uint64(from)+1) + 0xbf58476d1ce4e5b9*(k+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)*(1.0/(1<<53)) < h.P
+}
+
+var _ LossModel = (*HashLoss)(nil)
 
 // GilbertElliott is a two-state burst loss model, tracked per (from, to)
 // pair. In the Good state packets drop with PGood; in the Bad state with

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/rng"
@@ -47,11 +48,29 @@ type ClusterConfig struct {
 	// BufferIndex selects every member's buffer index implementation
 	// (tests run the legacy map side by side with the dense default).
 	BufferIndex core.IndexKind
+	// Shards > 1 runs the trial on the region-sharded parallel engine
+	// (sim.Sharded): regions are packed into at most Shards contiguous
+	// blocks and each block gets its own event loop. Aggregates stay
+	// byte-identical to the single-loop engine at any shard count, but
+	// every randomized model in play must be shard-safe: loss must be nil
+	// or per-sender (netsim.HashLoss) — RunScenario gates this
+	// automatically, direct Cluster users must themselves.
+	Shards int
+	// Lookahead bounds the sharded engine's conservative windows and must
+	// not exceed the minimum cross-region packet latency. It defaults to
+	// InterOneWay under the default hierarchical latency model; a custom
+	// Latency with Shards > 1 must set it explicitly.
+	Lookahead time.Duration
 }
 
 // Cluster is a fully wired simulated deployment.
 type Cluster struct {
+	// Engine drives the simulation; it is always set. Sim aliases it when
+	// the cluster runs the serial engine (the default), so legacy callers
+	// keep their richer *sim.Sim surface; it is nil on a sharded cluster.
+	Engine  sim.Engine
 	Sim     *sim.Sim
+	Sharded *sim.Sharded // non-nil iff the cluster runs sharded
 	Net     *netsim.Network
 	Topo    *topology.Topology
 	Members []*rrmp.Member // indexed by dense NodeID
@@ -67,16 +86,54 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Topo == nil {
 		return nil, fmt.Errorf("runner: ClusterConfig.Topo is required")
 	}
-	s := sim.New()
 	lat := cfg.Latency
 	if lat == nil {
 		lat = netsim.HierLatency{Topo: cfg.Topo, IntraOneWay: IntraOneWay, InterOneWay: InterOneWay}
 	}
-	net := netsim.New(s, lat, cfg.Loss)
+
+	var (
+		eng       sim.Engine
+		serial    *sim.Sim
+		sharded   *sim.Sharded
+		nodeShard []int32
+	)
+	if cfg.Shards > 1 {
+		look := cfg.Lookahead
+		if look <= 0 {
+			if cfg.Latency != nil {
+				return nil, fmt.Errorf("runner: Shards > 1 with a custom Latency requires an explicit Lookahead")
+			}
+			// Under the hierarchical model every cross-region packet pays
+			// at least one InterOneWay hop, and shard blocks never split a
+			// region, so InterOneWay bounds all cross-shard latency.
+			look = InterOneWay
+		}
+		var eff int
+		nodeShard, eff = cfg.Topo.NodeShards(cfg.Shards)
+		if eff > 1 {
+			var err error
+			sharded, err = sim.NewSharded(eff, nodeShard, look)
+			if err != nil {
+				return nil, fmt.Errorf("runner: %w", err)
+			}
+			eng = sharded
+		}
+	}
+	if eng == nil {
+		serial = sim.New()
+		eng = serial
+	}
+
+	net := netsim.New(eng, lat, cfg.Loss)
+	if sharded != nil {
+		net.EnableSharding(sharded, nodeShard, sharded.Shards())
+	}
 	root := rng.New(cfg.Seed)
 
 	c := &Cluster{
-		Sim:     s,
+		Engine:  eng,
+		Sim:     serial,
+		Sharded: sharded,
 		Net:     net,
 		Topo:    cfg.Topo,
 		Members: make([]*rrmp.Member, cfg.Topo.NumNodes()),
@@ -98,10 +155,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if cfg.Hooks != nil {
 			hooks = cfg.Hooks(n)
 		}
+		sched := clock.Scheduler(eng)
+		if sharded != nil {
+			sched = sharded.Clock(nodeShard[n])
+		}
 		m := rrmp.NewMember(rrmp.Config{
 			View:        view,
 			Transport:   &rrmp.NetTransport{Net: net, Self: n, Group: c.All},
-			Sched:       s,
+			Sched:       sched,
 			Rng:         root.Split(uint64(n) + 1),
 			Params:      cfg.Params,
 			Policy:      policy,

@@ -49,13 +49,18 @@ type ScaleReport struct {
 // knows which fields are comparable across machines.
 const scaleNote = "aggregate sections are deterministic (byte-identical at any -parallel); wall_ms_per_trial and events_per_sec are machine-dependent"
 
-// RunScale expands sw and runs it cell by cell: each cell's trials go
-// through the exp worker pool (so wide -parallel still helps), and the
-// wall clock is taken around the whole cell. Cells run sequentially to
-// keep their wall-clock numbers honest — parallel cells would contend for
-// cores and overstate per-cell cost.
-func RunScale(o exp.Options, sw exp.Sweep) (ScaleReport, error) {
-	scenarios := sw.Expand()
+// RunScale expands every sweep in order and runs the concatenation cell by
+// cell: each cell's trials go through the exp worker pool (so wide
+// -parallel still helps), and the wall clock is taken around the whole
+// cell. Cells run sequentially to keep their wall-clock numbers honest —
+// parallel cells would contend for cores and overstate per-cell cost.
+// Passing several sweeps appends their cells (the standing matrix first,
+// then the XL rows) without renumbering anything.
+func RunScale(o exp.Options, sweeps ...exp.Sweep) (ScaleReport, error) {
+	var scenarios []exp.Scenario
+	for _, sw := range sweeps {
+		scenarios = append(scenarios, sw.Expand()...)
+	}
 	rep := ScaleReport{Schema: ScaleSchema, BaseSeed: o.BaseSeed, Trials: o.Trials, Note: scaleNote}
 	if rep.Trials < 1 {
 		rep.Trials = 1

@@ -114,21 +114,53 @@ func PartitionClasses(topo *topology.Topology) map[topology.NodeID]int {
 // scenarioLoss builds a scenario's DATA loss model from its dedicated rng
 // stream (nil when lossless). Both protocol kernels share it, so a seeded
 // cell drops the identical DATA packets under RRMP and RMTP — the common-
-// random-numbers design extended to the protocol axis.
-func scenarioLoss(sc exp.Scenario, seed uint64) netsim.LossModel {
+// random-numbers design extended to the protocol axis. nNodes sizes the
+// hash-mode model's per-sender state.
+func scenarioLoss(sc exp.Scenario, seed uint64, nNodes int) (netsim.LossModel, error) {
 	if sc.Loss <= 0 {
-		return nil
+		return nil, nil
 	}
 	only := map[wire.Type]bool{wire.TypeData: true}
+	switch sc.LossMode {
+	case "":
+		// Legacy shared-stream models: draws consume one global rng in send
+		// order, entangling every sender. Deterministic, but only on a
+		// single loop (see effectiveShards).
+	case "hash":
+		if sc.Burst {
+			return nil, fmt.Errorf("runner: LossMode %q does not support Burst", sc.LossMode)
+		}
+		// Per-sender counter-hash stream: shard-safe, so lossy cells can
+		// run parallel. Seeded from the trial seed like the legacy stream.
+		return netsim.NewHashLoss(rng.New(seed).Split(lossStreamLabel).Uint64(), sc.Loss, nNodes, only), nil
+	default:
+		return nil, fmt.Errorf("runner: unknown scenario loss mode %q", sc.LossMode)
+	}
 	lossRng := rng.New(seed).Split(lossStreamLabel)
 	if sc.Burst {
 		return &netsim.GilbertElliott{
 			PGood: sc.Loss / 4, PBad: 0.9,
 			PGB: 0.02, PBG: 0.2,
 			Only: only, Rng: lossRng,
-		}
+		}, nil
 	}
-	return &netsim.BernoulliLoss{P: sc.Loss, Only: only, Rng: lossRng}
+	return &netsim.BernoulliLoss{P: sc.Loss, Only: only, Rng: lossRng}, nil
+}
+
+// effectiveShards gates a scenario's Shards knob on shard safety: the
+// legacy loss models draw from one rng stream in global send order, which
+// only a single loop reproduces, so scenarios using them fall back to
+// serial execution (where byte-identity to the serial engine is trivial).
+// Lossless and hash-loss scenarios run genuinely parallel. The rmtp kernel
+// is its own serial baseline and never shards.
+func effectiveShards(sc exp.Scenario) int {
+	if sc.Shards <= 1 {
+		return 1
+	}
+	if sc.Loss > 0 && sc.LossMode != "hash" {
+		return 1
+	}
+	return sc.Shards
 }
 
 // faultInjector abstracts one protocol's fault operations so both kernels
@@ -151,7 +183,7 @@ type faultInjector struct {
 // require: churn events first, then crash events (each with its optional
 // recovery), then the partition cut/heal pair. The returned counters are
 // live — read them after the run.
-func scheduleScenarioFaults(c *sim.Sim, net *netsim.Network, topo *topology.Topology,
+func scheduleScenarioFaults(c sim.Engine, net *netsim.Network, topo *topology.Topology,
 	all []topology.NodeID, sc exp.Scenario, seed uint64, inj faultInjector) (leaves, crashes *int) {
 	leaves, crashes = new(int), new(int)
 	var candidates []topology.NodeID
@@ -261,7 +293,10 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		return nil, fmt.Errorf("runner: scenario topology: %w", err)
 	}
 
-	loss := scenarioLoss(sc, seed)
+	loss, err := scenarioLoss(sc, seed, topo.NumNodes())
+	if err != nil {
+		return nil, err
+	}
 
 	hold := sc.FixedHold
 	if hold <= 0 {
@@ -307,6 +342,7 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		Seed:   seed,
 		Loss:   loss,
 		Policy: policy,
+		Shards: effectiveShards(sc),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("runner: scenario cluster: %w", err)
@@ -326,7 +362,7 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 	payloadBuf := make([]byte, maxSize)
 	for i := 0; i < sc.Msgs; i++ {
 		i := i
-		c.Sim.At(time.Duration(i)*sc.Gap, func() {
+		c.Engine.At(time.Duration(i)*sc.Gap, func() {
 			ids = append(ids, c.Sender.Publish(payloadBuf[:sizes[i]]))
 		})
 	}
@@ -335,7 +371,7 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 	// recovery and the failure detector, with optional per-victim
 	// recovery) and the partition timeline all come from the shared
 	// scheduler, so the rmtp kernel injects the identical fault sequence.
-	leaves, crashes := scheduleScenarioFaults(c.Sim, c.Net, topo, c.All, sc, seed, faultInjector{
+	leaves, crashes := scheduleScenarioFaults(c.Engine, c.Net, topo, c.All, sc, seed, faultInjector{
 		excused: func(v topology.NodeID) bool { return c.Members[v].Left() || c.Members[v].Crashed() },
 		leave:   func(v topology.NodeID) { c.Members[v].Leave() },
 		crash: func(v topology.NodeID) {
@@ -348,14 +384,14 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		},
 	})
 
-	c.Sim.RunUntil(sc.Horizon)
+	c.Engine.RunUntil(sc.Horizon)
 
 	n := topo.NumNodes()
 	out := map[string]float64{
 		"leaves":       float64(*leaves),
 		"packets_sent": float64(c.Net.Stats().TotalSent()),
 		"bytes_sent":   float64(c.Net.Stats().TotalBytes()),
-		"events":       float64(c.Sim.Processed()),
+		"events":       float64(c.Engine.Processed()),
 	}
 	var delivered, duplicates, localReq, remoteReq, repairs, regional, handoffs int64
 	var searches, searchFailures, suspects, unrecoverable int64
@@ -375,8 +411,8 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		searches += mm.SearchesStarted.Value()
 		searchFailures += mm.SearchFailures.Value()
 		suspects += mm.Suspects.Value()
-		bufferIntegral += m.Buffer().OccupancyIntegral(c.Sim.Now())
-		byteIntegral += m.Buffer().ByteOccupancyIntegral(c.Sim.Now())
+		bufferIntegral += m.Buffer().OccupancyIntegral(c.Engine.Now())
+		byteIntegral += m.Buffer().ByteOccupancyIntegral(c.Engine.Now())
 		if p := m.Buffer().PeakLen(); p > peak {
 			peak = p
 		}

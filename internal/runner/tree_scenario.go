@@ -36,11 +36,18 @@ func runTreeScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 
 	params := rmtp.DefaultParams()
 	params.ByteBudget = sc.ByteBudget
+	// The rmtp baseline always runs the serial engine (Scenario.Shards is
+	// ignored here): it exists as a reference kernel, not a scale target,
+	// and its shared-stream loss draws are not shard-safe anyway.
+	loss, err := scenarioLoss(sc, seed, topo.NumNodes())
+	if err != nil {
+		return nil, err
+	}
 	c, err := NewTreeCluster(TreeClusterConfig{
 		Topo:   topo,
 		Params: params,
 		Seed:   seed,
-		Loss:   scenarioLoss(sc, seed),
+		Loss:   loss,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("runner: scenario tree cluster: %w", err)

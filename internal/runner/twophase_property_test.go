@@ -247,35 +247,68 @@ func compareSnapshots(t *testing.T, dense, legacy twoPhaseSnapshot) {
 }
 
 // TestScaleTrialUnder10s is the acceptance bound the scale record tracks:
-// one full 1000-member, depth-3 (4-level regions would be depth 3; this is
-// the 3-level, depth-2 ISSUE shape plus the deeper 4-level one), default
-// loss/churn trial must complete well inside 10 s of wall clock.
+// every row of the standing scale ladder — the legacy 1k cells, the 10k
+// BENCH_scale XL cell, and the 100k-member depth-3 XL cell on the sharded
+// engine — must complete one trial inside 10 s of wall clock. The 1k rows
+// keep the full 20-message / 5 s workload; the XL rows use ScaleSweepXL's
+// trimmed burst probe (10 messages / 2 s), the same cells BENCH_scale.json
+// records. Under -short only the 10k row runs (the CI race job's macro
+// check); RRMP_SHARDS overrides the XL shard widths.
 func TestScaleTrialUnder10s(t *testing.T) {
-	if testing.Short() {
-		t.Skip("1k-member macro trial; skipped with -short")
+	cases := []struct {
+		name    string
+		sc      exp.Scenario
+		inShort bool
+	}{
+		{name: "1k-depth2", sc: exp.Scenario{
+			Tree: &exp.TreeShape{Branch: 4, Levels: 3, Members: 1000},
+			Loss: 0.05, Churn: 1, Policy: "two-phase",
+			Msgs: 20, Gap: 20 * time.Millisecond, Horizon: 5 * time.Second,
+		}},
+		{name: "1k-depth3", sc: exp.Scenario{
+			Tree: &exp.TreeShape{Branch: 4, Levels: 4, Members: 1000},
+			Loss: 0.05, Churn: 1, Policy: "two-phase",
+			Msgs: 20, Gap: 20 * time.Millisecond, Horizon: 5 * time.Second,
+		}},
+		// The 10k XL row. Serial on purpose unless RRMP_SHARDS says
+		// otherwise: at this size one heap still beats the barrier overhead
+		// (1.5 s serial vs 4 s at 8 shards on the reference 1-core host).
+		{name: "10k-depth3", inShort: true, sc: exp.Scenario{
+			Tree: &exp.TreeShape{Branch: 4, Levels: 4, Members: 10000},
+			Loss: 0.05, LossMode: "hash", Churn: 1, Policy: "two-phase",
+			Msgs: 10, Gap: 20 * time.Millisecond, Horizon: 2 * time.Second,
+			Shards: envShards(1),
+		}},
+		// The 100k XL row needs the sharded engine to make the bound: the
+		// ~4.2M-event trial runs 6.6 s at 32 shards vs ~27 s serial on the
+		// reference host — many small per-lane heaps beat one giant heap.
+		{name: "100k-depth3", sc: exp.Scenario{
+			Tree: &exp.TreeShape{Branch: 8, Levels: 4, Members: 100000},
+			Loss: 0.05, LossMode: "hash", Churn: 1, Policy: "two-phase",
+			Msgs: 10, Gap: 20 * time.Millisecond, Horizon: 2 * time.Second,
+			Shards: envShards(32),
+		}},
 	}
-	for _, levels := range []int{3, 4} {
-		sc := exp.Scenario{
-			Tree:    &exp.TreeShape{Branch: 4, Levels: levels, Members: 1000},
-			Loss:    0.05,
-			Churn:   1,
-			Policy:  "two-phase",
-			Msgs:    20,
-			Gap:     20 * time.Millisecond,
-			Horizon: 5 * time.Second,
-		}
-		start := time.Now()
-		out, err := RunScenario(sc, 1)
-		if err != nil {
-			t.Fatal(err)
-		}
-		wall := time.Since(start)
-		if wall > 10*time.Second {
-			t.Fatalf("levels=%d: trial took %v, want < 10s", levels, wall)
-		}
-		if out["delivery_ratio"] < 0.99 {
-			t.Fatalf("levels=%d: delivery ratio %.3f", levels, out["delivery_ratio"])
-		}
-		t.Logf("levels=%d: %v wall, %.0f events", levels, wall, out["events"])
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && !tc.inShort {
+				t.Skip("macro trial; skipped with -short")
+			}
+			start := time.Now()
+			out, err := RunScenario(tc.sc, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wall := time.Since(start)
+			if wall > 10*time.Second {
+				t.Fatalf("trial took %v, want < 10s", wall)
+			}
+			if out["delivery_ratio"] < 0.99 {
+				t.Fatalf("delivery ratio %.3f", out["delivery_ratio"])
+			}
+			t.Logf("%v wall, %.0f events, %.0f events/sec",
+				wall, out["events"], out["events"]/wall.Seconds())
+		})
 	}
 }

@@ -1,0 +1,477 @@
+// Sharded is the region-sharded parallel simulation engine: one trial runs
+// several event loops (shards), each owning the members of one or more
+// regions, synchronized by conservative-lookahead windows.
+//
+// The synchronization protocol is classic conservative PDES specialized to
+// this simulator's structure:
+//
+//   - Every cross-shard interaction is a packet delivery with latency of at
+//     least the lookahead bound W (the minimum cross-region one-way
+//     latency). A shard executing events in the window [G, G+W) can
+//     therefore only schedule cross-shard work at or after G+W — never
+//     inside another shard's current window.
+//   - Shards execute a window concurrently, queueing cross-shard pushes in
+//     per-shard outboxes. At the barrier the coordinator drains outboxes in
+//     fixed shard order into the target queues, so the merge order is a
+//     pure function of the event timeline, not goroutine scheduling.
+//   - Driver-level events (fault injections, publishes, anything scheduled
+//     through the engine's own Scheduler or before the first RunUntil) live
+//     on a separate global lane executed single-threaded at barriers, in
+//     exactly the (time, insertion) order a serial run gives them. A fault
+//     cut landing on a barrier boundary thus executes between windows,
+//     never "batch-ahead" of the shard loops it affects.
+//
+// Determinism: each queue orders events by the extended key
+// (at, pushAt, src, seq) — see eventq.PushKeyed. Within one pushing context
+// (a shard's loop, or the coordinator) pushAt is nondecreasing and seq is
+// the push order, so per-context insertion order is preserved; across
+// contexts the key orders by push time first (as the serial engine's global
+// sequence does) and falls back to the fixed context index only for pushes
+// from different contexts at identical virtual times. That fallback is the
+// one place the merge can deviate from the serial engine's global sequence
+// (which breaks such ties by push order instead) — the order is still a
+// pure function of the event timeline, just a different deterministic
+// convention, and any downstream push inherits it. FuzzShardMerge pins
+// exactly this contract; the runner differential suite demonstrates the
+// convention never changes protocol-level report bytes.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/eventq"
+)
+
+// Sharded runs one simulation across several shard-local event loops. It
+// implements Engine (drive it like a Sim) and clock.Scheduler (driver-level
+// scheduling lands on the global lane); per-shard schedulers for protocol
+// members come from Clock. Create one with NewSharded.
+//
+// Concurrency contract: all Engine/Scheduler methods are driver-side and
+// must be called from the driving goroutine, outside RunUntil. During a
+// window, each shard's goroutine may only touch its own lane (through its
+// Clock or PostFrom with a same/cross-shard target); cross-shard effects
+// are deferred to the barrier.
+type Sharded struct {
+	lanes     []*lane
+	clocks    []laneClock
+	nodeShard []int32
+	lookahead time.Duration
+
+	// global is the driver/coordinator lane: plain (at, seq) order, exactly
+	// a serial engine's pre-run queue. gmu guards it because shard contexts
+	// may Stop global timers mid-window; all other access is coordinator-
+	// side. gcount counts executed global events.
+	gmu    sync.Mutex
+	global eventq.Queue
+	gcount uint64
+
+	now     time.Duration
+	setup   bool // until the first RunUntil: every push goes to the global lane
+	barrier bool // coordinator is executing between windows
+	running bool
+
+	active []*lane // scratch for runWindow
+}
+
+// lane is one shard's event loop: a keyed queue, the shard's local clock,
+// and an outbox of cross-shard pushes deferred to the next barrier.
+type lane struct {
+	id        int32
+	q         eventq.Queue
+	now       time.Duration
+	out       []outEvent
+	processed uint64
+}
+
+// outEvent is a cross-shard push captured during a window.
+type outEvent struct {
+	dst    int32
+	at     time.Duration
+	pushAt time.Duration
+	src    int32
+	fn     func()
+}
+
+// coordinatorSrc orders barrier-context pushes before any shard's pushes at
+// an identical (at, pushAt) — the serial engine runs driver-scheduled
+// events first at equal timestamps because their sequence numbers predate
+// all runtime pushes.
+const coordinatorSrc int32 = -1
+
+// NewSharded returns a sharded engine with shards loops. nodeShard maps
+// every node id to its owning shard (see topology.NodeShards); lookahead is
+// the conservative window bound and must not exceed the minimum cross-shard
+// packet latency the caller's latency model can produce.
+func NewSharded(shards int, nodeShard []int32, lookahead time.Duration) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: NewSharded with %d shards", shards)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: NewSharded with non-positive lookahead %v", lookahead)
+	}
+	for n, s := range nodeShard {
+		if s < 0 || int(s) >= shards {
+			return nil, fmt.Errorf("sim: node %d mapped to shard %d of %d", n, s, shards)
+		}
+	}
+	e := &Sharded{
+		lanes:     make([]*lane, shards),
+		clocks:    make([]laneClock, shards),
+		nodeShard: nodeShard,
+		lookahead: lookahead,
+		setup:     true,
+	}
+	for i := range e.lanes {
+		e.lanes[i] = &lane{id: int32(i)}
+		e.clocks[i] = laneClock{e: e, shard: int32(i)}
+	}
+	return e, nil
+}
+
+// Shards returns the number of shard loops.
+func (e *Sharded) Shards() int { return len(e.lanes) }
+
+// Lookahead returns the conservative window bound.
+func (e *Sharded) Lookahead() time.Duration { return e.lookahead }
+
+// Clock returns the scheduler shard-owned protocol code must use: Now is
+// the shard's local window clock and timers land on the shard's own queue.
+func (e *Sharded) Clock(shard int32) clock.Scheduler { return &e.clocks[shard] }
+
+// Now returns the engine's barrier clock (the driver-visible virtual time).
+func (e *Sharded) Now() time.Duration { return e.now }
+
+// Processed returns the number of events executed across all lanes plus the
+// global lane.
+func (e *Sharded) Processed() uint64 {
+	total := e.gcount
+	for _, ln := range e.lanes {
+		total += ln.processed
+	}
+	return total
+}
+
+// Pending returns the number of scheduled events not yet executed.
+func (e *Sharded) Pending() int {
+	e.gmu.Lock()
+	n := e.global.Len()
+	e.gmu.Unlock()
+	for _, ln := range e.lanes {
+		n += ln.q.Len()
+	}
+	return n
+}
+
+// After schedules fn on the global lane d after the barrier clock.
+func (e *Sharded) After(d time.Duration, fn func()) clock.Timer {
+	if fn == nil {
+		panic("sim: After with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	e.gmu.Lock()
+	ev := e.global.Push(e.now+d, fn)
+	t := &gtimer{e: e, ev: ev, gen: ev.Gen()}
+	e.gmu.Unlock()
+	return t
+}
+
+// At schedules fn on the global lane at the absolute time at, clamped to
+// the barrier clock.
+func (e *Sharded) At(at time.Duration, fn func()) clock.Timer {
+	return e.After(at-e.now, fn)
+}
+
+// Post schedules fn like After without a cancellation handle.
+func (e *Sharded) Post(d time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: Post with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	e.gmu.Lock()
+	e.global.Push(e.now+d, fn)
+	e.gmu.Unlock()
+}
+
+// PostFrom schedules fn to run d after the sending context's clock, on the
+// shard owning node to. from identifies the sending node; the sending
+// context is from's shard during a window, or the coordinator during setup
+// and barriers. This is the network's delivery primitive (netsim routes
+// through it when sharding is enabled). Cross-shard posts with d below the
+// lookahead bound panic: they would land inside another shard's current
+// window, which the engine cannot order deterministically.
+func (e *Sharded) PostFrom(from, to int32, d time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: PostFrom with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	if e.setup {
+		e.gmu.Lock()
+		e.global.Push(e.now+d, fn)
+		e.gmu.Unlock()
+		return
+	}
+	dst := e.nodeShard[to]
+	if e.barrier {
+		e.lanes[dst].q.PushKeyed(e.now+d, e.now, coordinatorSrc, fn)
+		return
+	}
+	src := e.nodeShard[from]
+	ln := e.lanes[src]
+	if src == dst {
+		ln.q.PushKeyed(ln.now+d, ln.now, src, fn)
+		return
+	}
+	if d < e.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard post from node %d to node %d with delay %v below the %v lookahead bound", from, to, d, e.lookahead))
+	}
+	ln.out = append(ln.out, outEvent{dst: dst, at: ln.now + d, pushAt: ln.now, src: src, fn: fn})
+}
+
+// RunUntil executes events with timestamps <= deadline in lookahead-bounded
+// windows, advances the barrier clock to the deadline, and returns the
+// number of events executed by this call. A negative deadline runs to
+// exhaustion.
+func (e *Sharded) RunUntil(deadline time.Duration) uint64 {
+	if e.running {
+		panic("sim: reentrant Run from inside an event callback")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.setup = false
+
+	start := e.Processed()
+	if deadline < 0 {
+		for {
+			at, ok := e.nextEventAt()
+			if !ok {
+				break
+			}
+			e.runTo(at)
+		}
+	} else {
+		e.runTo(deadline)
+	}
+	return e.Processed() - start
+}
+
+// Run executes events until every queue is empty and returns the number
+// executed.
+func (e *Sharded) Run() uint64 { return e.RunUntil(-1) }
+
+// runTo advances the engine to the absolute time deadline (>= 0).
+func (e *Sharded) runTo(deadline time.Duration) {
+	for {
+		e.syncLanes()
+		e.runGlobalDue()
+		if e.now >= deadline {
+			// Final pass: events at exactly the deadline instant. Globals
+			// at the deadline already fired above (driver-scheduled events
+			// precede runtime events at equal timestamps, as in the serial
+			// engine); now the shard loops run theirs inclusively.
+			e.runWindow(deadline, true)
+			e.drainOutboxes()
+			return
+		}
+		h := e.now + e.lookahead
+		if g, ok := e.nextGlobalAt(); ok && g < h {
+			h = g
+		}
+		if deadline < h {
+			h = deadline
+		}
+		e.runWindow(h, false)
+		e.drainOutboxes()
+		e.now = h
+	}
+}
+
+// syncLanes aligns every lane clock with the barrier clock.
+func (e *Sharded) syncLanes() {
+	for _, ln := range e.lanes {
+		ln.now = e.now
+	}
+}
+
+// runGlobalDue executes global-lane events due at the barrier clock, in
+// (time, insertion) order, on the coordinator.
+func (e *Sharded) runGlobalDue() {
+	e.barrier = true
+	for {
+		e.gmu.Lock()
+		head := e.global.Peek()
+		if head == nil || head.At() > e.now {
+			e.gmu.Unlock()
+			break
+		}
+		_, fn, _ := e.global.PopFire()
+		e.gmu.Unlock()
+		e.gcount++
+		fn()
+	}
+	e.barrier = false
+}
+
+// nextGlobalAt returns the earliest pending global event time.
+func (e *Sharded) nextGlobalAt() (time.Duration, bool) {
+	e.gmu.Lock()
+	defer e.gmu.Unlock()
+	head := e.global.Peek()
+	if head == nil {
+		return 0, false
+	}
+	return head.At(), true
+}
+
+// nextEventAt returns the earliest pending event time across all queues.
+func (e *Sharded) nextEventAt() (time.Duration, bool) {
+	at, ok := e.nextGlobalAt()
+	for _, ln := range e.lanes {
+		if head := ln.q.Peek(); head != nil && (!ok || head.At() < at) {
+			at, ok = head.At(), true
+		}
+	}
+	return at, ok
+}
+
+// runWindow executes every lane's events in [now, limit) — or [now, limit]
+// when inclusive — concurrently, one goroutine per lane with due events.
+func (e *Sharded) runWindow(limit time.Duration, inclusive bool) {
+	e.active = e.active[:0]
+	for _, ln := range e.lanes {
+		if head := ln.q.Peek(); head != nil && due(head.At(), limit, inclusive) {
+			e.active = append(e.active, ln)
+		}
+	}
+	if len(e.active) == 0 {
+		return
+	}
+	if len(e.active) == 1 {
+		e.active[0].run(limit, inclusive)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.active))
+	for _, ln := range e.active {
+		go func(ln *lane) {
+			defer wg.Done()
+			ln.run(limit, inclusive)
+		}(ln)
+	}
+	wg.Wait()
+}
+
+func due(at, limit time.Duration, inclusive bool) bool {
+	if inclusive {
+		return at <= limit
+	}
+	return at < limit
+}
+
+// run executes the lane's due events in extended-key order, advancing the
+// lane clock to each event's timestamp.
+func (ln *lane) run(limit time.Duration, inclusive bool) {
+	for {
+		head := ln.q.Peek()
+		if head == nil || !due(head.At(), limit, inclusive) {
+			break
+		}
+		at, fn, _ := ln.q.PopFire()
+		if at > ln.now {
+			ln.now = at
+		}
+		ln.processed++
+		fn()
+	}
+}
+
+// drainOutboxes merges the window's cross-shard pushes into their target
+// queues in fixed shard order, keeping the merge deterministic.
+func (e *Sharded) drainOutboxes() {
+	for _, ln := range e.lanes {
+		for i := range ln.out {
+			o := &ln.out[i]
+			e.lanes[o.dst].q.PushKeyed(o.at, o.pushAt, o.src, o.fn)
+			o.fn = nil
+		}
+		ln.out = ln.out[:0]
+	}
+}
+
+// laneClock is the clock.Scheduler one shard's members run against.
+type laneClock struct {
+	e     *Sharded
+	shard int32
+}
+
+// Now returns the shard's local clock (the barrier clock between windows).
+func (c *laneClock) Now() time.Duration { return c.e.lanes[c.shard].now }
+
+// After schedules fn on the owning shard's queue. During setup it routes to
+// the global lane (matching the serial engine's pre-run insertion order);
+// from a barrier it is keyed as a coordinator push.
+func (c *laneClock) After(d time.Duration, fn func()) clock.Timer {
+	if fn == nil {
+		panic("sim: After with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	e := c.e
+	if e.setup {
+		e.gmu.Lock()
+		ev := e.global.Push(e.now+d, fn)
+		t := &gtimer{e: e, ev: ev, gen: ev.Gen()}
+		e.gmu.Unlock()
+		return t
+	}
+	ln := e.lanes[c.shard]
+	src := c.shard
+	if e.barrier {
+		src = coordinatorSrc
+	}
+	ev := ln.q.PushKeyed(ln.now+d, ln.now, src, fn)
+	return &ltimer{ln: ln, ev: ev, gen: ev.Gen()}
+}
+
+var _ clock.Scheduler = (*laneClock)(nil)
+var _ Engine = (*Sharded)(nil)
+
+// gtimer is a handle to a global-lane event.
+type gtimer struct {
+	e   *Sharded
+	ev  *eventq.Event
+	gen uint32
+}
+
+// Stop cancels the timer; see clock.Timer.
+func (t *gtimer) Stop() bool {
+	t.e.gmu.Lock()
+	defer t.e.gmu.Unlock()
+	return t.e.global.Cancel(t.ev, t.gen)
+}
+
+// ltimer is a handle to a shard-lane event. Stop is only safe from the
+// owning shard's context (or a barrier) — the same ownership rule as every
+// other lane operation. Protocol members only cancel their own timers, so
+// this holds by construction.
+type ltimer struct {
+	ln  *lane
+	ev  *eventq.Event
+	gen uint32
+}
+
+// Stop cancels the timer; see clock.Timer.
+func (t *ltimer) Stop() bool { return t.ln.q.Cancel(t.ev, t.gen) }
+
+var _ clock.Timer = (*gtimer)(nil)
+var _ clock.Timer = (*ltimer)(nil)

@@ -20,6 +20,25 @@ import (
 	"repro/internal/eventq"
 )
 
+// Engine is the driver-facing surface shared by the serial simulator (Sim)
+// and the region-sharded parallel simulator (Sharded): scheduling from the
+// driver's context plus bounded execution. Experiment runners are written
+// against Engine so one scenario kernel can drive either implementation.
+type Engine interface {
+	clock.Scheduler
+	// Processed returns the number of events executed so far.
+	Processed() uint64
+	// Pending returns the number of scheduled events not yet executed.
+	Pending() int
+	// At schedules fn at the absolute virtual time at, clamped to now.
+	At(at time.Duration, fn func()) clock.Timer
+	// Post schedules fn like After without a cancellation handle.
+	Post(d time.Duration, fn func())
+	// RunUntil executes events with timestamps <= deadline, advances the
+	// clock to the deadline, and returns the number executed by this call.
+	RunUntil(deadline time.Duration) uint64
+}
+
 // Sim is a discrete-event simulator. Create one with New. Sim is not safe
 // for concurrent use: everything runs on the caller's goroutine.
 type Sim struct {
@@ -58,6 +77,7 @@ func (t *timer) Stop() bool { return t.sim.queue.Cancel(t.ev, t.gen) }
 
 var _ clock.Timer = (*timer)(nil)
 var _ clock.Scheduler = (*Sim)(nil)
+var _ Engine = (*Sim)(nil)
 
 // After schedules fn to run d after the current virtual time. A non-positive
 // d schedules for "now"; the event still goes through the queue so it runs

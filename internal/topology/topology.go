@@ -336,6 +336,52 @@ func (t *Topology) Depth() int {
 	return int(max)
 }
 
+// ShardMap partitions the regions into at most shards contiguous blocks of
+// region ids, balanced by member count, and returns the region -> shard
+// assignment. Contiguity matters twice over: regions are the protocol's
+// locality unit (a region's members only ever appear together in views), and
+// node ids are assigned region by region, so each shard also owns one dense
+// node-id range. The greedy proportional cut assigns region i to the current
+// shard until that shard's cumulative member count reaches its proportional
+// quota, advancing early when exactly enough regions remain to give every
+// later shard at least one.
+func (t *Topology) ShardMap(shards int) []int32 {
+	if shards > len(t.regions) {
+		shards = len(t.regions)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	out := make([]int32, len(t.regions))
+	total := len(t.regionOf)
+	s, cum := 0, 0
+	for i := range t.regions {
+		out[i] = int32(s)
+		cum += len(t.regions[i].Members)
+		if s < shards-1 {
+			remaining := len(t.regions) - i - 1
+			needed := shards - s - 1
+			if cum*shards >= (s+1)*total || remaining == needed {
+				s++
+			}
+		}
+	}
+	return out
+}
+
+// NodeShards maps every node to its shard under ShardMap(shards) and
+// returns the effective shard count (which may be lower than requested when
+// there are fewer regions than shards).
+func (t *Topology) NodeShards(shards int) ([]int32, int) {
+	rm := t.ShardMap(shards)
+	eff := int(rm[len(rm)-1]) + 1
+	out := make([]int32, len(t.regionOf))
+	for n, r := range t.regionOf {
+		out[n] = rm[r]
+	}
+	return out, eff
+}
+
 // View is the partial membership knowledge one member has (paper §2.1):
 // all members of its own region plus all members of its parent region.
 type View struct {

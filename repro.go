@@ -59,10 +59,12 @@ type config struct {
 	params      Params
 	lossP       float64
 	burstLoss   bool
+	hashLoss    bool
 	blackouts   []int
 	policy      PolicyKind
 	fixedHold   time.Duration
 	tracer      trace.Tracer
+	shards      int
 }
 
 // Option configures NewGroup.
@@ -120,6 +122,18 @@ func WithBurstDataLoss(p float64) Option {
 	return func(c *config) { c.lossP = p; c.burstLoss = true }
 }
 
+// WithHashDataLoss drops DATA with probability p like WithDataLoss, but
+// draws from per-sender counter-hash streams (netsim.HashLoss) instead of
+// one shared rng consumed in global send order. Each sender's draws depend
+// only on its own send count, so the model is shard-safe: groups built
+// WithShards keep running genuinely parallel. The drop pattern differs
+// from WithDataLoss at equal p — a different, equally deterministic,
+// stream — so switching models changes results, switching shard counts
+// never does.
+func WithHashDataLoss(p float64) Option {
+	return func(c *config) { c.lossP = p; c.hashLoss = true; c.burstLoss = false }
+}
+
 // WithRegionBlackout drops the initial multicast entirely for every member
 // of the given region (by index), producing the paper's "regional loss"
 // scenario that only remote recovery can repair (§2.2). May be repeated.
@@ -159,6 +173,15 @@ func WithByteBudget(n int) Option {
 // that reuse or mutate publish buffers (Params.CopyOnStore).
 func WithCopyOnStore() Option {
 	return func(c *config) { c.params.CopyOnStore = true }
+}
+
+// WithShards runs the group on the region-sharded parallel engine with up
+// to n event loops (<= 1 keeps the serial engine). Results are
+// byte-identical either way. Groups with a shared-stream loss model
+// (WithDataLoss, WithBurstDataLoss) fall back to the serial engine — those
+// draws happen in global send order, which only one loop reproduces.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
 }
 
 // WithFailureDetector attaches the region-scoped gossip failure detector
@@ -228,13 +251,17 @@ func NewGroup(opts ...Option) (*Group, error) {
 	var loss netsim.LossModel
 	if cfg.lossP > 0 {
 		only := map[wire.Type]bool{wire.TypeData: true}
-		if cfg.burstLoss {
+		switch {
+		case cfg.burstLoss:
 			loss = &netsim.GilbertElliott{
 				PGood: cfg.lossP / 4, PBad: 0.9,
 				PGB: 0.02, PBG: 0.2,
 				Only: only, Rng: rng.New(cfg.seed ^ 0xbadbad),
 			}
-		} else {
+		case cfg.hashLoss:
+			loss = netsim.NewHashLoss(rng.New(cfg.seed^0xbadbad).Uint64(),
+				cfg.lossP, topo.NumNodes(), only)
+		default:
 			loss = &netsim.BernoulliLoss{P: cfg.lossP, Only: only, Rng: rng.New(cfg.seed ^ 0xbadbad)}
 		}
 	}
@@ -270,6 +297,10 @@ func NewGroup(opts ...Option) (*Group, error) {
 		return nil, fmt.Errorf("repro: unknown policy kind %d", cfg.policy)
 	}
 
+	shards := cfg.shards
+	if cfg.lossP > 0 && !cfg.hashLoss {
+		shards = 1 // shared-stream loss draws are only deterministic serially
+	}
 	cluster, err := runner.NewCluster(runner.ClusterConfig{
 		Topo:   topo,
 		Params: cfg.params,
@@ -277,6 +308,7 @@ func NewGroup(opts ...Option) (*Group, error) {
 		Loss:   loss,
 		Policy: policy,
 		Tracer: cfg.tracer,
+		Shards: shards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("repro: building cluster: %w", err)
@@ -310,16 +342,18 @@ func (g *Group) StartSessions() { g.sender.StartSessions() }
 func (g *Group) StopSessions() { g.sender.StopSessions() }
 
 // Now returns the current virtual time.
-func (g *Group) Now() time.Duration { return g.cluster.Sim.Now() }
+func (g *Group) Now() time.Duration { return g.cluster.Engine.Now() }
 
 // Run advances virtual time by d, executing all protocol events due.
-func (g *Group) Run(d time.Duration) { g.cluster.Sim.RunFor(d) }
+func (g *Group) Run(d time.Duration) { g.cluster.Engine.RunUntil(g.cluster.Engine.Now() + d) }
 
 // RunUntil advances virtual time to the absolute instant t.
-func (g *Group) RunUntil(t time.Duration) { g.cluster.Sim.RunUntil(t) }
+func (g *Group) RunUntil(t time.Duration) { g.cluster.Engine.RunUntil(t) }
 
-// At schedules fn at absolute virtual time t (workload scripting).
-func (g *Group) At(t time.Duration, fn func()) { g.cluster.Sim.At(t, fn) }
+// At schedules fn at absolute virtual time t (workload scripting). On a
+// sharded group the event runs on the coordinator's global lane at
+// exactly t, between shard windows, like the fault schedule.
+func (g *Group) At(t time.Duration, fn func()) { g.cluster.Engine.At(t, fn) }
 
 // CountReceived returns how many members have received id.
 func (g *Group) CountReceived(id MessageID) int { return g.cluster.CountReceived(id) }

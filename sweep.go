@@ -43,11 +43,16 @@ func DefaultSweep() Sweep { return exp.DefaultSweep() }
 // members × depth grid (the one BENCH_scale.json tracks across PRs).
 func ScaleSweep() Sweep { return exp.ScaleSweep() }
 
-// RunScale runs sw cell by cell, timing each cell, and returns the scale
-// report (deterministic aggregates plus machine-dependent wall-clock and
-// events/sec annotations).
-func RunScale(o SweepOptions, sw Sweep) (ScaleReport, error) {
-	return runner.RunScale(o, sw)
+// ScaleSweepXL returns the extra-large scale rows (10k and 100k members)
+// appended after ScaleSweep in BENCH_scale.json; they use hash-mode loss so
+// the region-sharded engine can run them parallel.
+func ScaleSweepXL() Sweep { return exp.ScaleSweepXL() }
+
+// RunScale runs the given sweeps' cells in order, timing each cell, and
+// returns the scale report (deterministic aggregates plus
+// machine-dependent wall-clock and events/sec annotations).
+func RunScale(o SweepOptions, sweeps ...Sweep) (ScaleReport, error) {
+	return runner.RunScale(o, sweeps...)
 }
 
 // RunSweep expands the sweep and runs every (cell, trial) pair across a
