@@ -69,7 +69,7 @@ func main() {
 		msgs         = flag.Int("msgs", 20, "messages to publish")
 		gap          = flag.Duration("gap", 20*time.Millisecond, "inter-message gap")
 		loss         = flag.Float64("loss", 0.2, "independent DATA loss probability")
-		lossMode     = flag.String("loss-mode", "", "loss stream model: '' = legacy shared stream (serial-only), 'hash' = per-sender counter hash (shard-safe, runs parallel under -shards)")
+		lossMode     = flag.String("loss-mode", "", "loss stream model: '' = legacy shared stream (serial-only), 'hash' = per-sender counter hash (shard-safe, runs parallel under -shards; combine with -burst for the shard-safe Gilbert-Elliott chain)")
 		burst        = flag.Bool("burst", false, "use a Gilbert-Elliott burst loss channel instead")
 		churn        = flag.Float64("churn", 0, "graceful leaves per second (Poisson over non-sender members)")
 		crash        = flag.Float64("crash", 0, "crash faults per second (Poisson over non-sender members; no handoff)")
@@ -544,8 +544,9 @@ type scaleArgs struct {
 func runScale(a scaleArgs) error {
 	sw := repro.ScaleSweep()
 	sw.Shards = a.shards
-	// The default grid appends the XL rows (10k/100k members) after the
-	// standing matrix; -sweep-trees replaces the whole grid instead.
+	// The default grid appends the XL rows (10k/100k members) and the 1M
+	// hash-burst row after the standing matrix; -sweep-trees replaces the
+	// whole grid instead.
 	var sweeps []repro.Sweep
 	if a.swTrees != "" {
 		trees, err := parseTreeShapes(a.swTrees)
@@ -557,7 +558,9 @@ func runScale(a scaleArgs) error {
 	} else {
 		xl := repro.ScaleSweepXL()
 		xl.Shards = a.shards
-		sweeps = []repro.Sweep{sw, xl}
+		m1 := repro.ScaleSweep1M()
+		m1.Shards = a.shards
+		sweeps = []repro.Sweep{sw, xl, m1}
 	}
 	rep, err := repro.RunScale(repro.SweepOptions{
 		Trials:   a.trials,
@@ -814,9 +817,15 @@ func run(a singleArgs) error {
 		return fmt.Errorf("unknown loss mode %q (want '' or 'hash')", a.lossMode)
 	}
 	if loss > 0 {
+		if a.shards > 1 && a.lossMode != "hash" {
+			// The legacy shared loss stream only reproduces on one loop,
+			// so the run silently falls back to serial (effectiveShards).
+			// Say so instead of letting -shards look like a no-op.
+			fmt.Fprintf(os.Stderr, "rrmp-sim: -shards %d with the legacy loss stream runs serial; use -loss-mode hash for shard-safe loss\n", a.shards)
+		}
 		switch {
 		case a.burst && a.lossMode == "hash":
-			return fmt.Errorf("-loss-mode hash does not support -burst")
+			opts = append(opts, repro.WithHashBurstLoss(loss))
 		case a.burst:
 			opts = append(opts, repro.WithBurstDataLoss(loss))
 		case a.lossMode == "hash":

@@ -321,6 +321,31 @@ func ScaleSweepXL() Sweep {
 	}
 }
 
+// ScaleSweep1M returns the final rung of the scale ladder, appended after
+// ScaleSweepXL in BENCH_scale.json: one million members on a branch-16
+// 4-level tree (hierarchy depth 3, ~229 members per region across 4369
+// regions). The row runs the XL burst probe under hash-mode Gilbert–
+// Elliott loss (HashBurstLoss) — the loss regime of wireless multicast —
+// proving both that burst cells run on the sharded engine and that
+// cluster construction no longer dominates at this size. It is a separate
+// sweep rather than a Burst flag on ScaleSweepXL because Burst is part of
+// cell identity: flipping it on the XL sweep would re-byte the committed
+// 10k/100k rows.
+func ScaleSweep1M() Sweep {
+	return Sweep{
+		Trees: []TreeShape{
+			{Branch: 16, Levels: 4, Members: 1000000},
+		},
+		Losses:   []float64{0.05},
+		LossMode: "hash",
+		Burst:    true,
+		Churns:   []float64{0},
+		Policies: []string{"two-phase"},
+		Msgs:     10,
+		Horizon:  2 * time.Second,
+	}
+}
+
 // Expand returns the cartesian product in a fixed order: the protocol
 // axis outermost (RRMP families before any "rmtp" baseline family), then
 // payload sizes and byte budgets (so the default (0, 0) block — when
@@ -491,6 +516,12 @@ type Report struct {
 	Schema   string `json:"schema"`
 	BaseSeed uint64 `json:"base_seed"`
 	Trials   int    `json:"trials"`
+	// ExecNote records execution-only caveats — cells that ignored the
+	// requested -shards width and ran serial (legacy-stream loss, rmtp).
+	// Empty (and omitted, so default-shards reports keep their bytes)
+	// unless shards were requested and some cell fell back. Execution
+	// metadata, not cell identity: aggregates are unaffected either way.
+	ExecNote string `json:"exec_note,omitempty"`
 	Cells    []Cell `json:"cells"`
 }
 

@@ -30,8 +30,8 @@ type Send func(to topology.NodeID, msg wire.Message)
 
 // Config assembles a detector.
 type Config struct {
-	// View is the member's region view; the detector tracks Self and all
-	// RegionPeers.
+	// View is the member's region view; the detector tracks all
+	// RegionMembers (Self included).
 	View topology.View
 	// Sched supplies time and timers; required.
 	Sched clock.Scheduler
@@ -89,7 +89,11 @@ func New(cfg Config) *Detector {
 	if cfg.CleanupTimeout <= 0 {
 		cfg.CleanupTimeout = 2 * cfg.FailTimeout
 	}
-	members := append([]topology.NodeID{cfg.View.Self}, cfg.View.RegionPeers...)
+	// The detector owns its member ordering (and the view's slice is
+	// shared), so copy before sorting. Region slices are already
+	// ascending, but the sorted order is this package's invariant — keep
+	// enforcing it locally.
+	members := append([]topology.NodeID(nil), cfg.View.RegionMembers...)
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	d := &Detector{
 		cfg:        cfg,

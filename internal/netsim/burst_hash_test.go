@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Statistical checks for the burst-loss models. Both Gilbert–Elliott
+// variants must behave like a burst channel, not a memoryless one: the
+// marginal drop rate sits strictly between PGood and PBad, and the
+// conditional drop probability immediately after a drop exceeds the
+// marginal (drops cluster in Bad-state dwells). The counters run over one
+// (from, to) pair, which is exactly how the chain is tracked.
+
+const (
+	burstPGood = 0.0125 // Loss=0.05 under the legacy PGood=Loss/4 mapping
+	burstPBad  = 0.9
+	burstPGB   = 0.02
+	burstPBG   = 0.2
+)
+
+// burstCond feeds n DATA packets over pair (0, 1) and returns (marginal,
+// P(drop | previous packet dropped)).
+func burstCond(model LossModel, n int) (marginal, afterDrop float64) {
+	drops, afterDropTrials, afterDropHits := 0, 0, 0
+	prev := false
+	for i := 0; i < n; i++ {
+		lost := model.Drop(0, 1, wire.TypeData)
+		if lost {
+			drops++
+		}
+		if prev {
+			afterDropTrials++
+			if lost {
+				afterDropHits++
+			}
+		}
+		prev = lost
+	}
+	return float64(drops) / float64(n), float64(afterDropHits) / float64(afterDropTrials)
+}
+
+func burstinessCheck(t *testing.T, name string, model LossModel) {
+	t.Helper()
+	const n = 200000
+	marginal, afterDrop := burstCond(model, n)
+	// Stationary Bad fraction is PGB/(PGB+PBG) ≈ 0.091, so the marginal
+	// sits near 0.09 — well inside (PGood, PBad) at this sample size.
+	if marginal <= burstPGood || marginal >= burstPBad {
+		t.Fatalf("%s: marginal drop rate %.4f outside (PGood=%.4f, PBad=%.4f)",
+			name, marginal, burstPGood, burstPBad)
+	}
+	// Burstiness: a drop means the chain is almost surely in Bad, and the
+	// per-packet escape probability is only PBG, so the next packet drops
+	// far more often than the marginal.
+	if afterDrop <= marginal {
+		t.Fatalf("%s: P(drop|prev drop) %.4f <= marginal %.4f — channel is not bursty",
+			name, afterDrop, marginal)
+	}
+	if afterDrop < 2*marginal {
+		t.Fatalf("%s: P(drop|prev drop) %.4f < 2×marginal %.4f — burst clustering too weak for GE(%g,%g,%g,%g)",
+			name, afterDrop, marginal, burstPGood, burstPBad, burstPGB, burstPBG)
+	}
+}
+
+func TestGilbertElliottBurstStatistics(t *testing.T) {
+	burstinessCheck(t, "GilbertElliott", &GilbertElliott{
+		PGood: burstPGood, PBad: burstPBad,
+		PGB: burstPGB, PBG: burstPBG,
+		Only: map[wire.Type]bool{wire.TypeData: true},
+		Rng:  rng.New(42),
+	})
+}
+
+func TestHashBurstLossStatistics(t *testing.T) {
+	burstinessCheck(t, "HashBurstLoss", NewHashBurstLoss(
+		42, burstPGood, burstPBad, burstPGB, burstPBG, 4,
+		map[wire.Type]bool{wire.TypeData: true}))
+}
+
+// TestHashBurstLossPairDeterminism is the shard-safety property: a pair's
+// drop sequence is a pure function of (Seed, from, to, draw index), so
+// interleaving traffic on other pairs — which is exactly what a different
+// shard count changes — cannot perturb it.
+func TestHashBurstLossPairDeterminism(t *testing.T) {
+	const n = 5000
+	fresh := func() *HashBurstLoss {
+		return NewHashBurstLoss(7, burstPGood, burstPBad, burstPGB, burstPBG, 8,
+			map[wire.Type]bool{wire.TypeData: true})
+	}
+
+	// Reference: pair (2, 5) alone.
+	alone := fresh()
+	want := make([]bool, n)
+	for i := range want {
+		want[i] = alone.Drop(2, 5, wire.TypeData)
+	}
+
+	// Same pair with heavy cross-pair interleaving: other senders, other
+	// receivers from the same sender, and uncovered types in between.
+	mixed := fresh()
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			mixed.Drop(3, 1, wire.TypeData)
+		}
+		for j := 0; j < i%4; j++ {
+			mixed.Drop(2, topology.NodeID(j%8), wire.TypeData) // other receivers
+		}
+		mixed.Drop(2, 5, wire.TypeRepair) // uncovered: must consume no draw
+		if got := mixed.Drop(2, 5, wire.TypeData); got != want[i] {
+			t.Fatalf("draw %d: interleaved=%v, alone=%v — pair stream not independent", i, got, want[i])
+		}
+	}
+
+	// And the uncovered-type calls above must not have dropped anything.
+	if mixed.Drop(2, 5, wire.TypeRepair) {
+		t.Fatal("uncovered type dropped under Only={DATA}")
+	}
+}

@@ -79,6 +79,17 @@ func (r *Source) Split(label uint64) *Source {
 	return New(out ^ label)
 }
 
+// SplitInto derives the identical child stream Split(label) would return,
+// but writes it into dst instead of allocating a new Source. Batch setup
+// paths (one backing slice for a million member streams) use it so
+// per-member stream construction costs zero heap allocations; dst's draws
+// are draw-for-draw equal to Split(label)'s.
+func (r *Source) SplitInto(label uint64, dst *Source) {
+	mix := r.s[0] ^ bits.RotateLeft64(r.s[2], 23) ^ (label * 0x9e3779b97f4a7c15)
+	_, out := splitmix64(mix)
+	dst.Reseed(out ^ label)
+}
+
 // Uint64n returns a uniform value in [0, n). It panics if n == 0.
 func (r *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {

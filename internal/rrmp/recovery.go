@@ -104,8 +104,8 @@ func (m *Member) localAttempt(rec *recovery) {
 	if m.recoveries[rec.id] != rec {
 		return
 	}
-	peers := m.livePeers()
-	if len(peers) == 0 {
+	peers, selfIdx := m.livePeers()
+	if peerCount(peers, selfIdx) == 0 {
 		// Single-member region: only remote recovery can help.
 		rec.localDead = true
 		m.checkAbandoned(rec)
@@ -118,7 +118,7 @@ func (m *Member) localAttempt(rec *recovery) {
 		return
 	}
 	rec.localTries++
-	q := peers[m.cfg.Rng.Intn(len(peers))]
+	q := pickPeer(m.cfg.Rng, peers, selfIdx)
 	m.metrics.LocalReqSent.Inc()
 	m.trace("LOCAL-REQ", fmt.Sprintf("id=%v to=%d try=%d", rec.id, q, rec.localTries))
 	m.cfg.Transport.Send(q, wire.Message{Type: wire.TypeLocalRequest, From: m.self, ID: rec.id})
@@ -147,7 +147,7 @@ func (m *Member) remoteAttempt(rec *recovery) {
 		return
 	}
 	rec.remoteTries++
-	regionSize := len(m.cfg.View.RegionPeers) + 1
+	regionSize := m.cfg.View.NumPeers() + 1
 	p := m.params.Lambda / float64(regionSize)
 	if m.cfg.Rng.Bernoulli(p) {
 		r := parents[m.cfg.Rng.Intn(len(parents))]

@@ -150,7 +150,15 @@ type Member struct {
 		Bufferers(id wire.MessageID) []topology.NodeID
 	} // non-nil only under the deterministic hash policy (§3.4)
 
-	inRegion   map[topology.NodeID]bool // own region membership incl. self
+	// Own-region membership (incl. self). The topology assigns region
+	// members contiguous ascending IDs, so membership is normally the
+	// range check [inRegionLo, inRegionHi] — a region-sized map per member
+	// is exactly the O(members × region size) setup cost the 1M-member
+	// path cannot afford. inRegion is the fallback for the (unused in
+	// practice) non-contiguous case.
+	inRegionLo topology.NodeID
+	inRegionHi topology.NodeID
+	inRegion   map[topology.NodeID]bool
 	sources    map[topology.NodeID]*sourceState
 	recoveries map[wire.MessageID]*recovery
 	waiters    map[wire.MessageID][]topology.NodeID
@@ -200,7 +208,6 @@ func NewMember(cfg Config) *Member {
 		cfg:           cfg,
 		params:        cfg.Params.withDefaults(),
 		self:          cfg.View.Self,
-		inRegion:      make(map[topology.NodeID]bool, len(cfg.View.RegionPeers)+1),
 		sources:       make(map[topology.NodeID]*sourceState),
 		recoveries:    make(map[wire.MessageID]*recovery),
 		waiters:       make(map[wire.MessageID][]topology.NodeID),
@@ -211,14 +218,11 @@ func NewMember(cfg Config) *Member {
 		served:        make(map[servedKey]time.Duration),
 		unrecovered:   make(map[wire.MessageID]bool),
 	}
-	m.inRegion[m.self] = true
-	for _, p := range cfg.View.RegionPeers {
-		m.inRegion[p] = true
-	}
+	m.initRegionMembership(cfg.View)
 
 	policy := cfg.Policy
 	if policy == nil {
-		regionSize := len(cfg.View.RegionPeers) + 1
+		regionSize := cfg.View.NumPeers() + 1
 		policy = core.NewTwoPhase(m.params.IdleThreshold, m.params.C, regionSize, m.params.LongTermTTL)
 	}
 	if loc, ok := policy.(interface {
@@ -243,7 +247,7 @@ func NewMember(cfg Config) *Member {
 		},
 		OnPromote: cfg.Hooks.OnPromote,
 	})
-	if m.params.FDEnabled && len(cfg.View.RegionPeers) > 0 {
+	if m.params.FDEnabled && cfg.View.NumPeers() > 0 {
 		m.fd = gossipfd.New(gossipfd.Config{
 			View:           cfg.View,
 			Sched:          cfg.Sched,
@@ -284,25 +288,95 @@ func (m *Member) peerLive(n topology.NodeID) bool {
 	return m.fd == nil || !m.fd.Suspected(n)
 }
 
-// livePeers returns the region peers currently considered alive. If the
-// detector suspects everyone (e.g. right after this member's own outage),
-// it falls back to the full static view: probing a possibly-dead peer
-// beats deadlocking on an empty candidate set.
-func (m *Member) livePeers() []topology.NodeID {
-	peers := m.cfg.View.RegionPeers
-	if m.fd == nil {
-		return peers
+// initRegionMembership derives the own-region membership test from the
+// view: a range check when the (shared, ascending) region slice is
+// contiguous and covers Self, a map otherwise.
+func (m *Member) initRegionMembership(v topology.View) {
+	rm := v.RegionMembers
+	if len(rm) == 0 {
+		m.inRegionLo, m.inRegionHi = m.self, m.self
+		return
 	}
-	live := make([]topology.NodeID, 0, len(peers))
-	for _, p := range peers {
+	contiguous := true
+	for i := 1; i < len(rm); i++ {
+		if rm[i] != rm[i-1]+1 {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous && m.self >= rm[0] && m.self <= rm[len(rm)-1] {
+		m.inRegionLo, m.inRegionHi = rm[0], rm[len(rm)-1]
+		return
+	}
+	m.inRegion = make(map[topology.NodeID]bool, len(rm)+1)
+	m.inRegion[m.self] = true
+	for _, p := range rm {
+		m.inRegion[p] = true
+	}
+}
+
+// inOwnRegion reports whether n is a member of this member's own region
+// (Self included).
+func (m *Member) inOwnRegion(n topology.NodeID) bool {
+	if m.inRegion != nil {
+		return m.inRegion[n]
+	}
+	return n >= m.inRegionLo && n <= m.inRegionHi
+}
+
+// livePeers returns the candidate set for a random peer pick as a
+// (members, selfIdx) pair: selfIdx >= 0 means the slice is the shared
+// region-member list with Self at that index (to be skipped — the no-
+// detector fast path, no allocation), selfIdx < 0 means a freshly built
+// self-excluding list of peers the failure detector considers alive. If
+// the detector suspects everyone (e.g. right after this member's own
+// outage), it falls back to the full static view: probing a possibly-dead
+// peer beats deadlocking on an empty candidate set. Use peerCount/pickPeer
+// to consume the pair.
+func (m *Member) livePeers() ([]topology.NodeID, int) {
+	rm := m.cfg.View.RegionMembers
+	selfIdx := m.cfg.View.SelfIdx
+	if m.fd == nil {
+		return rm, selfIdx
+	}
+	live := make([]topology.NodeID, 0, len(rm)-1)
+	for i, p := range rm {
+		if i == selfIdx {
+			continue
+		}
 		if !m.fd.Suspected(p) {
 			live = append(live, p)
 		}
 	}
 	if len(live) == 0 {
-		return peers
+		return rm, selfIdx
 	}
-	return live
+	return live, -1
+}
+
+// peerCount returns the number of candidates in a livePeers pair.
+func peerCount(peers []topology.NodeID, selfIdx int) int {
+	n := len(peers)
+	if selfIdx >= 0 && n > 0 {
+		n--
+	}
+	return n
+}
+
+// pickPeer draws one uniform candidate from a livePeers pair with a single
+// rng draw: Intn over the candidate count, with indices at or past Self
+// shifted up by one — index-for-index the same draw (and result) the old
+// eager self-excluding peers slice produced. The caller must ensure
+// peerCount > 0.
+func pickPeer(r *rng.Source, peers []topology.NodeID, selfIdx int) topology.NodeID {
+	if selfIdx < 0 {
+		return peers[r.Intn(len(peers))]
+	}
+	j := r.Intn(len(peers) - 1)
+	if j >= selfIdx {
+		j++
+	}
+	return peers[j]
 }
 
 // ID returns the member's node id.
@@ -465,7 +539,7 @@ func (m *Member) onRemoteRequest(from topology.NodeID, msg wire.Message) {
 // loss receive it (§2.2).
 func (m *Member) onRepair(from topology.NodeID, msg wire.Message) {
 	m.metrics.RepairsRecv.Inc()
-	fromLocal := m.inRegion[from]
+	fromLocal := m.inOwnRegion(from)
 	isNew := m.deliver(msg.ID, msg.Payload, from)
 	switch {
 	case isNew && !fromLocal:
@@ -575,7 +649,7 @@ func (m *Member) sendRepairPayload(to topology.NodeID, id wire.MessageID, payloa
 // local region, optionally after a randomized back-off that lets concurrent
 // receivers suppress duplicates (§2.2, [14]).
 func (m *Member) scheduleRegionalMulticast(id wire.MessageID, payload []byte) {
-	if len(m.cfg.View.RegionPeers) == 0 {
+	if m.cfg.View.NumPeers() == 0 {
 		return
 	}
 	if _, ok := m.pendingMC[id]; ok {
@@ -596,7 +670,10 @@ func (m *Member) regionalMulticast(id wire.MessageID, payload []byte) {
 	m.metrics.RegionalMulticasts.Inc()
 	m.trace("REGION-MC", id.String())
 	msg := wire.Message{Type: wire.TypeRepair, From: m.self, ID: id, Payload: payload}
-	for _, p := range m.cfg.View.RegionPeers {
+	for i, p := range m.cfg.View.RegionMembers {
+		if i == m.cfg.View.SelfIdx {
+			continue
+		}
 		m.cfg.Transport.Send(p, msg)
 	}
 }
@@ -623,12 +700,12 @@ func (m *Member) Leave() {
 	}
 	// Hand off to peers the failure detector believes are alive —
 	// transferring the long-term buffer to a corpse would defeat §3.2.
-	peers := m.livePeers()
+	peers, selfIdx := m.livePeers()
 	for _, e := range m.buf.TakeForHandoff() {
-		if len(peers) == 0 {
+		if peerCount(peers, selfIdx) == 0 {
 			break // sole region member: nothing to transfer to
 		}
-		to := peers[m.cfg.Rng.Intn(len(peers))]
+		to := pickPeer(m.cfg.Rng, peers, selfIdx)
 		m.metrics.HandoffsSent.Inc()
 		m.trace("HANDOFF-SEND", fmt.Sprintf("id=%v to=%d", e.ID, to))
 		m.cfg.Transport.Send(to, wire.Message{

@@ -87,7 +87,10 @@ func (m *Member) queryAttempt(s *searchState) {
 	for _, o := range s.origins {
 		m.metrics.QueriesSent.Inc()
 		msg := wire.Message{Type: wire.TypeQuery, From: m.self, ID: s.id, Origin: o}
-		for _, p := range m.cfg.View.RegionPeers {
+		for i, p := range m.cfg.View.RegionMembers {
+			if i == m.cfg.View.SelfIdx {
+				continue
+			}
 			m.cfg.Transport.Send(p, msg)
 		}
 	}
@@ -178,11 +181,11 @@ func (m *Member) searchAttempt(s *searchState) {
 // failure detector on, suspected members are excluded so the random walk
 // routes around crashed bufferers instead of timing out on them.
 func (m *Member) nextRandomTarget() (topology.NodeID, bool) {
-	peers := m.livePeers()
-	if len(peers) == 0 {
+	peers, selfIdx := m.livePeers()
+	if peerCount(peers, selfIdx) == 0 {
 		return 0, false
 	}
-	return peers[m.cfg.Rng.Intn(len(peers))], true
+	return pickPeer(m.cfg.Rng, peers, selfIdx), true
 }
 
 // nextDeterministicTarget walks the hash-elected bufferer set in rank
@@ -266,7 +269,10 @@ func (m *Member) onSearch(from topology.NodeID, msg wire.Message) {
 func (m *Member) announceHave(id wire.MessageID, origin topology.NodeID) {
 	m.metrics.HavesSent.Inc()
 	msg := wire.Message{Type: wire.TypeHave, From: m.self, ID: id, Origin: origin}
-	for _, p := range m.cfg.View.RegionPeers {
+	for i, p := range m.cfg.View.RegionMembers {
+		if i == m.cfg.View.SelfIdx {
+			continue
+		}
 		m.cfg.Transport.Send(p, msg)
 	}
 }

@@ -28,3 +28,12 @@ func (t *NetTransport) Send(to topology.NodeID, msg wire.Message) {
 func (t *NetTransport) Broadcast(msg wire.Message) {
 	t.Net.Multicast(t.Self, t.Group, msg)
 }
+
+// ReceivePacket implements netsim.PacketReceiver, so a member registers
+// itself on the network directly (netsim.RegisterReceiver) instead of
+// through a per-member closure.
+func (m *Member) ReceivePacket(p netsim.Packet) {
+	m.Receive(p.From, p.Msg)
+}
+
+var _ netsim.PacketReceiver = (*Member)(nil)

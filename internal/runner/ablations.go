@@ -55,7 +55,7 @@ func AblationPolicies(seed uint64) ([]PolicyComparison, error) {
 			return core.BufferAll{}
 		}},
 		{"hash-elect C=6", func(view topology.View, p rrmp.Params) core.Policy {
-			region := append([]topology.NodeID{view.Self}, view.RegionPeers...)
+			region := append([]topology.NodeID{view.Self}, view.Peers()...)
 			return core.NewHashElect(p.IdleThreshold, 6, view.Self, region, p.LongTermTTL)
 		}},
 	}

@@ -139,9 +139,22 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Members: make([]*rrmp.Member, cfg.Topo.NumNodes()),
 		Root:    root.Split(0xaaaa),
 	}
-	for r := 0; r < cfg.Topo.NumRegions(); r++ {
-		c.All = append(c.All, cfg.Topo.Members(topology.RegionID(r))...)
+	// Node IDs are assigned region by region in ascending order (see
+	// topology.build), so the region-ordered member list is exactly the
+	// dense range [0, NumNodes) — fill it directly instead of copying one
+	// slice per region.
+	total := cfg.Topo.NumNodes()
+	c.All = make([]topology.NodeID, total)
+	for i := range c.All {
+		c.All[i] = topology.NodeID(i)
 	}
+	// Per-member wiring is the 1M-row setup hot path: transports and rng
+	// streams come from two backing slices (zero allocations per member)
+	// and members register themselves as packet receivers, so none of the
+	// per-member closures, transport boxes, or split sources that used to
+	// dominate construction survive at scale.
+	transports := make([]rrmp.NetTransport, total)
+	sources := make([]rng.Source, total)
 	for _, n := range c.All {
 		view, err := cfg.Topo.ViewOf(n)
 		if err != nil {
@@ -159,11 +172,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if sharded != nil {
 			sched = sharded.Clock(nodeShard[n])
 		}
+		transports[n] = rrmp.NetTransport{Net: net, Self: n, Group: c.All}
+		root.SplitInto(uint64(n)+1, &sources[n])
 		m := rrmp.NewMember(rrmp.Config{
 			View:        view,
-			Transport:   &rrmp.NetTransport{Net: net, Self: n, Group: c.All},
+			Transport:   &transports[n],
 			Sched:       sched,
-			Rng:         root.Split(uint64(n) + 1),
+			Rng:         &sources[n],
 			Params:      cfg.Params,
 			Policy:      policy,
 			Tracer:      cfg.Tracer,
@@ -171,8 +186,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			BufferIndex: cfg.BufferIndex,
 		})
 		c.Members[n] = m
-		member := m
-		net.Register(n, func(p netsim.Packet) { member.Receive(p.From, p.Msg) })
+		net.RegisterReceiver(n, m)
 	}
 	c.Sender = rrmp.NewSender(c.Members[cfg.Topo.Sender()])
 	return c, nil

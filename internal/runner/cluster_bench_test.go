@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// benchTopo builds the construction-benchmark tree: 10k members at depth
+// 3, the same shape as the BENCH_scale 10k row.
+func benchTopo(tb testing.TB) *topology.Topology {
+	tb.Helper()
+	topo, err := topology.BalancedTree(4, 4, 10000)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return topo
+}
+
+// BenchmarkNewCluster tracks cluster construction — the setup path that
+// used to dominate the 1M-member row (per-member peer-list copies,
+// inRegion maps, transport boxes, rng splits, receive closures). The
+// allocs/member and bytes/member metrics are what the microbench job
+// watches; TestNewClusterAllocsPerMember pins the ceiling.
+func BenchmarkNewCluster(b *testing.B) {
+	topo := benchTopo(b)
+	members := float64(topo.NumNodes())
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(ClusterConfig{Topo: topo, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = c
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	perOp := 1 / (float64(b.N) * members)
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)*perOp, "allocs/member")
+	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)*perOp, "bytes/member")
+}
+
+// TestNewClusterAllocsPerMember is the AllocsPerRun-style guard on the
+// setup path: constructing a cluster must stay under a fixed allocation
+// budget per member, so the wins that made the 1M-member row buildable
+// (shared region views, range-check region membership, batched transports
+// and rng streams, closure-free packet registration) cannot silently
+// erode. The bound is measured headroom over the current ~18
+// allocs/member (down from 33 before the setup overhaul; the eliminated
+// terms also scaled with region size, which the survivors do not), not a
+// target.
+func TestNewClusterAllocsPerMember(t *testing.T) {
+	if testing.Short() {
+		t.Skip("construction macro-measurement; skipped with -short")
+	}
+	topo := benchTopo(t)
+	members := float64(topo.NumNodes())
+	avg := testing.AllocsPerRun(3, func() {
+		if _, err := NewCluster(ClusterConfig{Topo: topo, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perMember := avg / members
+	const budget = 25.0
+	if perMember > budget {
+		t.Fatalf("NewCluster allocates %.1f/member (%.0f total); budget %.0f/member", perMember, avg, budget)
+	}
+	t.Logf("NewCluster: %.1f allocs/member (%.0f total for %d members)", perMember, avg, topo.NumNodes())
+}

@@ -77,12 +77,16 @@ func RunScale(o exp.Options, sweeps ...exp.Sweep) (ScaleReport, error) {
 		wall := time.Since(start)
 
 		cell := ScaleCell{Name: sc.Name(), Scenario: sc, Aggregate: agg}
-		if topo, err := scenarioTopology(sc); err == nil {
-			cell.Members = topo.NumNodes()
-			cell.Regions = topo.NumRegions()
-			cell.Depth = topo.Depth()
+		topo, err := scenarioTopology(sc)
+		if err != nil {
+			return ScaleReport{}, fmt.Errorf("runner: scale cell %q: %w", sc.Name(), err)
 		}
-		cell.WallMsPerTrial = float64(wall.Milliseconds()) / float64(rep.Trials)
+		cell.Members = topo.NumNodes()
+		cell.Regions = topo.NumRegions()
+		cell.Depth = topo.Depth()
+		// Divide nanoseconds as float64: wall.Milliseconds() truncates to
+		// integer milliseconds first, quantizing fast cells' trajectory.
+		cell.WallMsPerTrial = float64(wall.Nanoseconds()) / 1e6 / float64(rep.Trials)
 		if ev, ok := agg.Metric("events"); ok && wall > 0 {
 			totalEvents := ev.Mean * float64(ev.N)
 			cell.EventsPerSec = totalEvents / wall.Seconds()

@@ -108,7 +108,7 @@ func searchRun(cfg SearchConfig, seed uint64) (ms float64, forwards int64, ok bo
 			if view.Region != 0 {
 				return nil // default two-phase outside the region under test
 			}
-			region := append([]topology.NodeID{view.Self}, view.RegionPeers...)
+			region := append([]topology.NodeID{view.Self}, view.Peers()...)
 			return core.NewHashElect(p.IdleThreshold, cfg.Bufferers, view.Self, region, 0)
 		}
 	}

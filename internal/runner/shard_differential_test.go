@@ -41,6 +41,10 @@ func sweepAtShards(t *testing.T, sw exp.Sweep, o exp.Options, n int) string {
 	if err != nil {
 		t.Fatalf("shards=%d: %v", n, err)
 	}
+	// The top-level exec note names the requested width (it reports cells
+	// that fell back to serial), so it legitimately differs across widths;
+	// the contract this test pins covers the cells.
+	rep.ExecNote = ""
 	return fmtReport(t, rep)
 }
 
@@ -84,6 +88,23 @@ func TestShardedSweepByteIdentical(t *testing.T) {
 				LossMode: "hash",
 				Churns:   []float64{0, 1},
 				Crashes:  []float64{0, 1},
+				Policies: []string{"two-phase"},
+				Msgs:     12,
+				Horizon:  3 * time.Second,
+			},
+		},
+		{
+			// Hash-mode burst loss: the Gilbert–Elliott chains advance on
+			// per-pair counter-hash draws (netsim.HashBurstLoss), so the
+			// burst family — formerly a guaranteed serial fallback — must
+			// hold byte-identity through real parallel windows too.
+			name: "burst-hash",
+			sw: exp.Sweep{
+				Regions:  [][]int{{8}, {6, 6}},
+				Losses:   []float64{0.05, 0.2},
+				LossMode: "hash",
+				Burst:    true,
+				Churns:   []float64{0, 1},
 				Policies: []string{"two-phase"},
 				Msgs:     12,
 				Horizon:  3 * time.Second,

@@ -127,12 +127,17 @@ func scenarioLoss(sc exp.Scenario, seed uint64, nNodes int) (netsim.LossModel, e
 		// order, entangling every sender. Deterministic, but only on a
 		// single loop (see effectiveShards).
 	case "hash":
-		if sc.Burst {
-			return nil, fmt.Errorf("runner: LossMode %q does not support Burst", sc.LossMode)
-		}
-		// Per-sender counter-hash stream: shard-safe, so lossy cells can
+		// Per-pair counter-hash streams: shard-safe, so lossy cells can
 		// run parallel. Seeded from the trial seed like the legacy stream.
-		return netsim.NewHashLoss(rng.New(seed).Split(lossStreamLabel).Uint64(), sc.Loss, nNodes, only), nil
+		// Burst cells get the Gilbert–Elliott chain under the same legacy
+		// parameterization (PGood=Loss/4, PBad/PGB/PBG fixed), with the
+		// chain advanced by hash draws instead of the shared rng.
+		hashSeed := rng.New(seed).Split(lossStreamLabel).Uint64()
+		if sc.Burst {
+			return netsim.NewHashBurstLoss(hashSeed,
+				sc.Loss/4, 0.9, 0.02, 0.2, nNodes, only), nil
+		}
+		return netsim.NewHashLoss(hashSeed, sc.Loss, nNodes, only), nil
 	default:
 		return nil, fmt.Errorf("runner: unknown scenario loss mode %q", sc.LossMode)
 	}
@@ -151,8 +156,9 @@ func scenarioLoss(sc exp.Scenario, seed uint64, nNodes int) (netsim.LossModel, e
 // legacy loss models draw from one rng stream in global send order, which
 // only a single loop reproduces, so scenarios using them fall back to
 // serial execution (where byte-identity to the serial engine is trivial).
-// Lossless and hash-loss scenarios run genuinely parallel. The rmtp kernel
-// is its own serial baseline and never shards.
+// Lossless and hash-mode scenarios — Bernoulli (HashLoss) and burst
+// (HashBurstLoss) alike — run genuinely parallel. The rmtp kernel is its
+// own serial baseline and never shards.
 func effectiveShards(sc exp.Scenario) int {
 	if sc.Shards <= 1 {
 		return 1
@@ -314,7 +320,7 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		policy = func(topology.View, rrmp.Params) core.Policy { return core.BufferAll{} }
 	case "hash":
 		policy = func(view topology.View, p rrmp.Params) core.Policy {
-			region := append([]topology.NodeID{view.Self}, view.RegionPeers...)
+			region := append([]topology.NodeID{view.Self}, view.Peers()...)
 			return core.NewHashElect(p.IdleThreshold, int(p.C), view.Self, region, p.LongTermTTL)
 		}
 	default:
@@ -477,5 +483,44 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 // RunSweep expands sw and runs every (cell, trial) pair through the exp
 // worker pool with RunScenario as the kernel.
 func RunSweep(o exp.Options, sw exp.Sweep) (exp.Report, error) {
-	return exp.RunSweep(o, sw, RunScenario)
+	rep, err := exp.RunSweep(o, sw, RunScenario)
+	if err != nil {
+		return rep, err
+	}
+	rep.ExecNote = execNote(sw)
+	return rep, nil
+}
+
+// execNote summarizes the cells that cannot honor a requested -shards
+// width (see effectiveShards): instead of failing or silently lying about
+// the execution, the report carries a top-level note. The note is
+// execution metadata — it never appears at the default width, so the
+// committed default-shards reports keep their bytes.
+func execNote(sw exp.Sweep) string {
+	if sw.Shards <= 1 {
+		return ""
+	}
+	legacy, rmtp := 0, 0
+	cells := sw.Expand()
+	for _, sc := range cells {
+		switch {
+		case sc.Protocol == "rmtp":
+			rmtp++
+		case effectiveShards(sc) == 1:
+			legacy++
+		}
+	}
+	if legacy == 0 && rmtp == 0 {
+		return ""
+	}
+	note := fmt.Sprintf("shards=%d requested; %d of %d cells ran serial (", sw.Shards, legacy+rmtp, len(cells))
+	sep := ""
+	if legacy > 0 {
+		note += fmt.Sprintf("%d legacy-stream loss — use LossMode \"hash\" for shard-safe loss", legacy)
+		sep = "; "
+	}
+	if rmtp > 0 {
+		note += fmt.Sprintf("%s%d rmtp — the serial baseline never shards", sep, rmtp)
+	}
+	return note + "); aggregates are byte-identical either way"
 }

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -41,7 +42,7 @@ func runTwoPhaseInvariantTrial(t *testing.T, topo *topology.Topology, seed uint6
 		Seed:   seed,
 		Loss:   netsimBernoulli{p: 0.05, rng: rng.New(seed).Split(lossStreamLabel)},
 		Policy: func(view topology.View, p rrmp.Params) core.Policy {
-			region := append([]topology.NodeID{view.Self}, view.RegionPeers...)
+			region := append([]topology.NodeID{view.Self}, view.Peers()...)
 			return core.NewHashElect(p.IdleThreshold, int(p.C), view.Self, region, p.LongTermTTL)
 		},
 		BufferIndex: kind,
@@ -311,4 +312,33 @@ func TestScaleTrialUnder10s(t *testing.T) {
 				wall, out["events"], out["events"]/wall.Seconds())
 		})
 	}
+}
+
+// TestScaleTrial1M is the acceptance bound for the final rung of the
+// scale ladder: the 1M-member hash-burst row (ScaleSweep1M's only cell)
+// must finish one trial inside 10 minutes of wall clock with delivery
+// intact (~6 min at 32 shards on the 1-core reference host). Even
+// sharded, one trial costs minutes, so the test only runs when
+// RRMP_SCALE_1M=1 — the BENCH_scale.json regeneration exercises the
+// same cell for real. RRMP_SHARDS overrides the shard width.
+func TestScaleTrial1M(t *testing.T) {
+	if os.Getenv("RRMP_SCALE_1M") == "" {
+		t.Skip("set RRMP_SCALE_1M=1 to run the 1M-member macro trial")
+	}
+	sc := exp.ScaleSweep1M().Expand()[0]
+	sc.Shards = envShards(32)
+	start := time.Now()
+	out, err := RunScenario(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	if wall > 10*time.Minute {
+		t.Fatalf("trial took %v, want < 10m", wall)
+	}
+	if out["delivery_ratio"] < 0.99 {
+		t.Fatalf("delivery ratio %.3f", out["delivery_ratio"])
+	}
+	t.Logf("%v wall, %.0f events, %.0f events/sec",
+		wall, out["events"], out["events"]/wall.Seconds())
 }

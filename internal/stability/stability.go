@@ -76,8 +76,7 @@ func New(cfg Config) *Detector {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 100 * time.Millisecond
 	}
-	peers := make([]topology.NodeID, len(cfg.View.RegionPeers))
-	copy(peers, cfg.View.RegionPeers)
+	peers := cfg.View.Peers()
 	return &Detector{
 		cfg:    cfg,
 		peers:  peers,

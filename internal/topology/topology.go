@@ -384,29 +384,74 @@ func (t *Topology) NodeShards(shards int) ([]int32, int) {
 
 // View is the partial membership knowledge one member has (paper §2.1):
 // all members of its own region plus all members of its parent region.
+//
+// Both member slices are shared — every view of a region aliases the
+// topology's single region slice instead of carrying a private copy, so
+// building all views of an n-member group costs O(n), not O(n × region
+// size). Treat them as read-only; a consumer that needs a private or
+// self-excluding list takes Peers().
 type View struct {
-	Self          NodeID
-	Region        RegionID
-	ParentRegion  RegionID // NoRegion if the member is in the root region
-	RegionPeers   []NodeID // own region, excluding Self
-	ParentMembers []NodeID // parent region members (empty at the root)
+	Self         NodeID
+	Region       RegionID
+	ParentRegion RegionID // NoRegion if the member is in the root region
+	// RegionMembers is the member's own region, Self included, in region
+	// (ascending ID) order. Shared across views — read-only.
+	RegionMembers []NodeID
+	// SelfIdx is Self's position in RegionMembers, so self-excluding
+	// iteration and random peer picks need no separate peers slice.
+	SelfIdx int
+	// ParentMembers is the parent region's member list (empty at the
+	// root). Shared across views — read-only.
+	ParentMembers []NodeID
 }
 
-// ViewOf computes the membership view of node. The returned slices are
-// fresh copies owned by the caller.
+// Peers returns a fresh copy of the region members excluding Self, in
+// region order. Cold paths that mutate or retain a private peer list use
+// this; hot paths index RegionMembers/SelfIdx directly.
+func (v View) Peers() []NodeID {
+	if len(v.RegionMembers) <= 1 {
+		return nil
+	}
+	out := make([]NodeID, 0, len(v.RegionMembers)-1)
+	for i, m := range v.RegionMembers {
+		if i != v.SelfIdx {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// NumPeers returns the number of region peers (region size minus Self).
+func (v View) NumPeers() int {
+	if len(v.RegionMembers) == 0 {
+		return 0
+	}
+	return len(v.RegionMembers) - 1
+}
+
+// ViewOf computes the membership view of node. The returned slices alias
+// the topology's own region storage (see View) — callers must not mutate
+// them.
 func (t *Topology) ViewOf(node NodeID) (View, error) {
 	r := t.RegionOf(node)
 	if r == NoRegion {
 		return View{}, fmt.Errorf("%w: node %d not in topology", errInvalid, node)
 	}
-	v := View{Self: node, Region: r, ParentRegion: t.Parent(r)}
-	for _, m := range t.regions[r].Members {
-		if m != node {
-			v.RegionPeers = append(v.RegionPeers, m)
+	v := View{Self: node, Region: r, ParentRegion: t.Parent(r), RegionMembers: t.regions[r].Members}
+	// Region members are assigned dense ascending IDs at build time, so
+	// Self's index is a subtraction; scan as a fallback for safety.
+	if idx := int(node - v.RegionMembers[0]); idx >= 0 && idx < len(v.RegionMembers) && v.RegionMembers[idx] == node {
+		v.SelfIdx = idx
+	} else {
+		for i, m := range v.RegionMembers {
+			if m == node {
+				v.SelfIdx = i
+				break
+			}
 		}
 	}
 	if v.ParentRegion != NoRegion {
-		v.ParentMembers = t.Members(v.ParentRegion)
+		v.ParentMembers = t.regions[v.ParentRegion].Members
 	}
 	return v, nil
 }

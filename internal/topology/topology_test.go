@@ -118,10 +118,17 @@ func TestViewOf(t *testing.T) {
 	if v.Region != 1 || v.ParentRegion != 0 {
 		t.Fatalf("view region=%d parent=%d", v.Region, v.ParentRegion)
 	}
-	if len(v.RegionPeers) != 3 {
-		t.Fatalf("region peers = %v", v.RegionPeers)
+	if len(v.RegionMembers) != 4 || v.NumPeers() != 3 {
+		t.Fatalf("region members = %v", v.RegionMembers)
 	}
-	for _, p := range v.RegionPeers {
+	if v.RegionMembers[v.SelfIdx] != 5 {
+		t.Fatalf("SelfIdx %d does not locate self in %v", v.SelfIdx, v.RegionMembers)
+	}
+	peers := v.Peers()
+	if len(peers) != 3 {
+		t.Fatalf("region peers = %v", peers)
+	}
+	for _, p := range peers {
 		if p == 5 {
 			t.Fatal("view includes self in peers")
 		}

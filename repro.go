@@ -134,6 +134,17 @@ func WithHashDataLoss(p float64) Option {
 	return func(c *config) { c.lossP = p; c.hashLoss = true; c.burstLoss = false }
 }
 
+// WithHashBurstLoss is the shard-safe form of WithBurstDataLoss: a
+// Gilbert–Elliott burst channel at roughly the given long-run loss rate
+// (the same PGood=p/4 parameterization), whose per-(sender,receiver) chain
+// advances on per-pair counter-hash draws (netsim.HashBurstLoss) instead
+// of one shared rng. Like WithHashDataLoss it is a different deterministic
+// stream than the legacy model at equal p, and groups built WithShards
+// keep running genuinely parallel.
+func WithHashBurstLoss(p float64) Option {
+	return func(c *config) { c.lossP = p; c.hashLoss = true; c.burstLoss = true }
+}
+
 // WithRegionBlackout drops the initial multicast entirely for every member
 // of the given region (by index), producing the paper's "regional loss"
 // scenario that only remote recovery can repair (§2.2). May be repeated.
@@ -179,7 +190,8 @@ func WithCopyOnStore() Option {
 // to n event loops (<= 1 keeps the serial engine). Results are
 // byte-identical either way. Groups with a shared-stream loss model
 // (WithDataLoss, WithBurstDataLoss) fall back to the serial engine — those
-// draws happen in global send order, which only one loop reproduces.
+// draws happen in global send order, which only one loop reproduces. The
+// hash-stream models (WithHashDataLoss, WithHashBurstLoss) stay parallel.
 func WithShards(n int) Option {
 	return func(c *config) { c.shards = n }
 }
@@ -252,6 +264,9 @@ func NewGroup(opts ...Option) (*Group, error) {
 	if cfg.lossP > 0 {
 		only := map[wire.Type]bool{wire.TypeData: true}
 		switch {
+		case cfg.burstLoss && cfg.hashLoss:
+			loss = netsim.NewHashBurstLoss(rng.New(cfg.seed^0xbadbad).Uint64(),
+				cfg.lossP/4, 0.9, 0.02, 0.2, topo.NumNodes(), only)
 		case cfg.burstLoss:
 			loss = &netsim.GilbertElliott{
 				PGood: cfg.lossP / 4, PBad: 0.9,
@@ -290,7 +305,7 @@ func NewGroup(opts ...Option) (*Group, error) {
 		policy = func(topology.View, rrmp.Params) core.Policy { return core.BufferAll{} }
 	case PolicyHashElect:
 		policy = func(view topology.View, p rrmp.Params) core.Policy {
-			region := append([]topology.NodeID{view.Self}, view.RegionPeers...)
+			region := append([]topology.NodeID{view.Self}, view.Peers()...)
 			return core.NewHashElect(p.IdleThreshold, int(p.C), view.Self, region, p.LongTermTTL)
 		}
 	default:

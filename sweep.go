@@ -48,6 +48,11 @@ func ScaleSweep() Sweep { return exp.ScaleSweep() }
 // the region-sharded engine can run them parallel.
 func ScaleSweepXL() Sweep { return exp.ScaleSweepXL() }
 
+// ScaleSweep1M returns the 1M-member hash-burst row appended after the XL
+// rows in BENCH_scale.json — the final rung of the scale ladder, run as a
+// separate sweep so the Burst axis never re-bytes the committed XL cells.
+func ScaleSweep1M() Sweep { return exp.ScaleSweep1M() }
+
 // RunScale runs the given sweeps' cells in order, timing each cell, and
 // returns the scale report (deterministic aggregates plus
 // machine-dependent wall-clock and events/sec annotations).
