@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rrmp-figures [-fig 3|4|6|7|8|9|A1|A2|A3|A4|A5|A6|all] [-runs N] [-seed S]
+//	rrmp-figures [-fig 3|4|6|7|8|9|A1|A2|A3|A4|A5|A6|A7|all] [-runs N] [-seed S]
 //	             [-trials N] [-parallel P]
 //
 // Run counts trade precision for time; the defaults regenerate each figure
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,6,7,8,9,A1..A6 or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,6,7,8,9,A1..A7 or all")
 	runs := flag.Int("runs", 0, "runs to average per data point (0 = per-figure default)")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	trials := flag.Int("trials", 1, "independently seeded trials for A1/A5 (columns become mean±95% CI)")
@@ -212,6 +212,21 @@ func run(w io.Writer, fig string, runs int, seed uint64, trials, parallel int) e
 			fmt.Fprintf(w, "%-22s %14d %14d %14.1f %9.2f%%\n",
 				r.Scheme, r.DigestBytes, r.ControlBytes, r.BufferIntegral, 100*r.DeliveryRatio)
 		}
+	}
+	if want("A7") {
+		any = true
+		header(w, "Ablation A7 — VoD prefix-push: late joiners vs buffering policy")
+		rows, err := repro.AblationVoDPrefixPush(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %10s %14s %10s %12s %14s\n",
+			"policy", "delivery", "unrecoverable", "joiners", "catchup(ms)", "buffer(B·s)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-12s %9.2f%% %14.0f %10.0f %12.1f %14.0f\n",
+				r.Policy, 100*r.Delivery, r.Unrecoverable, r.LateJoiners, r.CatchupMs, r.ByteIntegral)
+		}
+		fmt.Fprintln(w, "(joiners arrive 1.5-2.5s in; only the two-phase long-term set still holds the prefix)")
 	}
 	if !any {
 		return fmt.Errorf("unknown figure %q", fig)

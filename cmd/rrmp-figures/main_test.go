@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro"
 )
 
 // TestA1A5TablesMatchGolden is cmd/rrmp-figures' first test: it regenerates
@@ -39,6 +41,49 @@ func TestA1A5TablesMatchGolden(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("A1/A5 tables diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestA7VoDContrast renders the A7 table and pins its point: only the
+// two-phase long-term set still holds the published prefix when the late
+// joiners arrive, so fixed-hold strands messages as unrecoverable and
+// buffer-all pays a strictly larger byte-time bill for the same
+// reliability.
+func TestA7VoDContrast(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "A7", 0, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"two-phase", "fixed", "all", "unrecoverable"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("A7 table lacks %q:\n%s", want, buf.String())
+		}
+	}
+	rows, err := repro.AblationVoDPrefixPush(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("A7 has %d rows, want 3", len(rows))
+	}
+	byPolicy := map[string]repro.VoDResult{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	two, fixed, all := byPolicy["two-phase"], byPolicy["fixed"], byPolicy["all"]
+	if two.Unrecoverable != 0 || all.Unrecoverable != 0 {
+		t.Fatalf("prefix-holding policies stranded messages: two-phase %v, all %v",
+			two.Unrecoverable, all.Unrecoverable)
+	}
+	if fixed.Unrecoverable <= 0 || fixed.Delivery >= two.Delivery {
+		t.Fatalf("fixed-hold kept the prefix (unrecoverable %v, delivery %v vs %v): contrast lost",
+			fixed.Unrecoverable, fixed.Delivery, two.Delivery)
+	}
+	if all.ByteIntegral <= two.ByteIntegral {
+		t.Fatalf("buffer-all byte cost %v not above two-phase %v", all.ByteIntegral, two.ByteIntegral)
+	}
+	if two.LateJoiners <= 0 || two.CatchupMs <= 0 {
+		t.Fatalf("two-phase joiners %v catchup %v: late-join machinery idle", two.LateJoiners, two.CatchupMs)
 	}
 }
 

@@ -37,6 +37,20 @@
 //	rrmp-sim -protocol rmtp -regions 30,30 -loss 0.2
 //	rrmp-sim -sweep -sweep-protocols rrmp,rmtp -trials 8
 //
+// Multi-client workloads (-workload, a preset or a key=val spec) replace
+// the single-sender publish stream with N concurrent publishers under
+// per-client arrival processes, Zipf volume skew and optional VoD late
+// joiners; -trace-record persists the materialized publish timeline as a
+// canonical rrmp-trace/v1 file and -trace-replay drives a run from one
+// (same cell and seed → byte-identical metrics). The default -sweep also
+// appends the standing 18-cell workload family after the legacy matrix:
+//
+//	rrmp-sim -workload mc -regions 30,30 -loss 0.1 -loss-mode hash
+//	rrmp-sim -workload vod -regions 12,12 -policy fixed
+//	rrmp-sim -workload 'clients=4,msgs=32,arrival=poisson,gap=50ms,zipf=1.1'
+//	rrmp-sim -workload mc -trace-record mc.trace
+//	rrmp-sim -workload mc -trace-replay mc.trace
+//
 // Single-run traces stream to stderr with -trace and/or to a file with
 // -trace-out (both flags reject sweep/multi-trial modes loudly).
 //
@@ -89,6 +103,9 @@ func main() {
 		doTrace      = flag.Bool("trace", false, "stream protocol events to stderr (single-trial rrmp mode only)")
 		traceOut     = flag.String("trace-out", "", "write protocol events to this file instead of stderr (single-trial rrmp mode only)")
 		backoff      = flag.Duration("backoff", 0, "regional repair multicast back-off window (0 = immediate)")
+		workloadFlag = flag.String("workload", "", "multi-client publish workload: a preset (mc|bursty|vod) or 'key=val,...' with keys clients,msgs,arrival(constant|poisson|burst),gap,zipf,burst-len,burst-gap,window(from-to:factor),size-model(fixed|uniform|lognormal),size-mean,late-frac,late-at,late-spread")
+		traceRecord  = flag.String("trace-record", "", "write the materialized publish timeline to this file as rrmp-trace/v1 (single-trial -workload mode only)")
+		traceReplay  = flag.String("trace-replay", "", "drive the run from a recorded rrmp-trace/v1 file instead of generating the timeline (single-trial -workload mode only)")
 
 		sweep      = flag.Bool("sweep", false, "run the scenario matrix instead of a single scenario")
 		sweepScale = flag.Bool("sweep-scale", false, "run the scale matrix (members×depth balanced trees) and record wall-clock + events/sec")
@@ -128,6 +145,7 @@ func main() {
 			"c", "lambda", "backoff", "seed", "churn", "loss", "loss-mode", "policy",
 			"crash", "crash-recover", "partition-at", "partition-for",
 			"payload", "payload-model", "budget", "protocol",
+			"workload", "trace-record", "trace-replay",
 			"sweep-regions", "sweep-losses", "sweep-churns", "sweep-crashes",
 			"sweep-partitions", "sweep-policies", "sweep-trees",
 			"sweep-payloads", "sweep-budgets", "sweep-protocols":
@@ -139,6 +157,30 @@ func main() {
 	// instead of silently dropping the flag, as the old -trace did.
 	if (*doTrace || *traceOut != "") && (*sweep || *sweepScale || *trials > 1) {
 		fmt.Fprintln(os.Stderr, "rrmp-sim: -trace/-trace-out apply to single-trial mode only")
+		os.Exit(2)
+	}
+	// Timeline traces bind one (workload, seed) pair to one file; sweeps
+	// and multi-trial runs have many timelines, so the flags reject those
+	// modes the same way the event tracer does.
+	if *traceRecord != "" || *traceReplay != "" {
+		switch {
+		case *sweep || *sweepScale || *trials > 1:
+			fmt.Fprintln(os.Stderr, "rrmp-sim: -trace-record/-trace-replay apply to single-trial mode only")
+			os.Exit(2)
+		case *workloadFlag == "":
+			fmt.Fprintln(os.Stderr, "rrmp-sim: -trace-record/-trace-replay require -workload (the spec names the cell the timeline belongs to)")
+			os.Exit(2)
+		case *traceRecord != "" && *traceReplay != "":
+			fmt.Fprintln(os.Stderr, "rrmp-sim: choose one of -trace-record or -trace-replay")
+			os.Exit(2)
+		}
+	}
+	if *workloadFlag != "" && (*doTrace || *traceOut != "") {
+		fmt.Fprintln(os.Stderr, "rrmp-sim: -trace/-trace-out observe the single-run engine; -workload cells run the sweep kernel, which has no tracer hook")
+		os.Exit(2)
+	}
+	if *workloadFlag != "" && *sweepScale {
+		fmt.Fprintln(os.Stderr, "rrmp-sim: -workload does not apply to -sweep-scale")
 		os.Exit(2)
 	}
 	if !outSet && *sweep && !*sweepScale && !matrixCustomized {
@@ -172,13 +214,15 @@ func main() {
 			protocol: *protocol, protocolSet: protocolSet,
 			seed: *seed, horizon: *horizon, trials: *trials, parallel: *parallel,
 			shards: *shards, json: *jsonOut, outPath: *outPath,
-			swRegions: *swRegions, swLosses: *swLosses, swChurns: *swChurns,
+			workload:       *workloadFlag,
+			workloadFamily: *sweep && !matrixCustomized,
+			swRegions:      *swRegions, swLosses: *swLosses, swChurns: *swChurns,
 			swCrashes: *swCrashes, swPartitions: *swPartitions, swPolicies: *swPolicies,
 			swTrees: *swTrees, swPayloads: *swPayloads, swBudgets: *swBudgets,
 			swProtocols: *swProtocols,
 		})
 	} else {
-		err = run(singleArgs{
+		sa := singleArgs{
 			regionsCSV: *regions, star: *star, tree: *tree, msgs: *msgs, gap: *gap,
 			loss: *loss, lossMode: *lossMode, burst: *burst, churn: *churn, c: *c, lambda: *lambda,
 			policy: *policy, hold: *hold, seed: *seed, horizon: *horizon,
@@ -187,7 +231,15 @@ func main() {
 			partitionAt: *partitionAt, partitionFor: *partitionFor,
 			payload: *payload, payloadModel: *payloadModel, budget: *budget,
 			protocol: *protocol, shards: *shards,
-		})
+		}
+		if *workloadFlag != "" {
+			err = runSingleWorkload(os.Stdout, workloadArgs{
+				single: sa, workload: *workloadFlag,
+				traceRecord: *traceRecord, traceReplay: *traceReplay,
+			})
+		} else {
+			err = run(sa)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrmp-sim:", err)
@@ -330,17 +382,23 @@ type sweepArgs struct {
 	outPath string
 	// quiet suppresses stdout reporting (the in-process golden test only
 	// compares the -out files).
-	quiet        bool
-	swRegions    string
-	swLosses     string
-	swChurns     string
-	swCrashes    string
-	swPartitions string
-	swPolicies   string
-	swTrees      string
-	swPayloads   string
-	swBudgets    string
-	swProtocols  string
+	quiet bool
+	// workload, when set, pins the sweep's workload axis to one parsed
+	// -workload spec (multi-trial statistics for a workload cell).
+	workload string
+	// workloadFamily appends the standing WorkloadSweep matrix after the
+	// main sweep — the default -sweep shape BENCH_sweep.json records.
+	workloadFamily bool
+	swRegions      string
+	swLosses       string
+	swChurns       string
+	swCrashes      string
+	swPartitions   string
+	swPolicies     string
+	swTrees        string
+	swPayloads     string
+	swBudgets      string
+	swProtocols    string
 }
 
 // runSweep runs either the scenario matrix (-sweep) or a single-cell sweep
@@ -491,12 +549,29 @@ func runSweep(a sweepArgs) error {
 	sw.Msgs = a.msgs
 	sw.Gap = a.gap
 	sw.Horizon = a.horizon
+	if a.workload != "" {
+		spec, err := parseWorkloadSpec(a.workload)
+		if err != nil {
+			return err
+		}
+		sw.Workloads = []*repro.WorkloadSpec{spec}
+	}
 
-	rep, err := repro.RunSweep(repro.SweepOptions{
+	// The default -sweep shape is the standing matrix plus the workload
+	// family, run through one pool into one report; the family's cells
+	// append after every DefaultSweep cell, so the committed record grows
+	// without a single pre-workload cell moving or re-byting.
+	sweeps := []repro.Sweep{sw}
+	if a.workloadFamily {
+		wf := repro.WorkloadSweep()
+		wf.Shards = a.shards
+		sweeps = append(sweeps, wf)
+	}
+	rep, err := repro.RunSweeps(repro.SweepOptions{
 		Trials:   a.trials,
 		Parallel: a.parallel,
 		BaseSeed: a.seed,
-	}, sw)
+	}, sweeps...)
 	if err != nil {
 		return err
 	}
@@ -755,6 +830,197 @@ func runSingleRMTP(a singleArgs) error {
 	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Printf("  %-28s %g\n", k, m[k])
+	}
+	return nil
+}
+
+// parseWorkloadSpec parses the -workload flag: one of the standing
+// presets, or a comma-separated key=val spec validated as a whole.
+func parseWorkloadSpec(s string) (*repro.WorkloadSpec, error) {
+	switch s {
+	case "mc":
+		return repro.MultiClientWorkload(), nil
+	case "bursty":
+		return repro.BurstyWorkload(), nil
+	case "vod":
+		return repro.VoDPrefixPush(), nil
+	}
+	spec := &repro.WorkloadSpec{}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("-workload: %q is not key=val (or a preset: mc|bursty|vod)", field)
+		}
+		var err error
+		switch k {
+		case "clients":
+			spec.Clients, err = strconv.Atoi(v)
+		case "msgs":
+			spec.Msgs, err = strconv.Atoi(v)
+		case "arrival":
+			spec.Arrival = v
+		case "gap":
+			spec.Gap, err = time.ParseDuration(v)
+		case "zipf":
+			spec.ZipfS, err = strconv.ParseFloat(v, 64)
+		case "burst-len":
+			spec.BurstLen, err = strconv.Atoi(v)
+		case "burst-gap":
+			spec.BurstGap, err = time.ParseDuration(v)
+		case "window":
+			// from-to:factor, e.g. 0s-1s:4 (repeatable).
+			var win repro.WorkloadWindow
+			span, factor, ok := strings.Cut(v, ":")
+			from, to, ok2 := strings.Cut(span, "-")
+			if !ok || !ok2 {
+				return nil, fmt.Errorf("-workload: window %q: want from-to:factor", v)
+			}
+			if win.From, err = time.ParseDuration(from); err == nil {
+				if win.To, err = time.ParseDuration(to); err == nil {
+					win.Factor, err = strconv.ParseFloat(factor, 64)
+				}
+			}
+			spec.Windows = append(spec.Windows, win)
+		case "size-model":
+			spec.SizeModel = v
+		case "size-mean":
+			spec.SizeMean, err = strconv.Atoi(v)
+		case "late-frac":
+			spec.LateJoinFrac, err = strconv.ParseFloat(v, 64)
+		case "late-at":
+			spec.LateJoinAt, err = time.ParseDuration(v)
+		case "late-spread":
+			spec.LateJoinSpread, err = time.ParseDuration(v)
+		default:
+			return nil, fmt.Errorf("-workload: unknown key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("-workload: %s=%q: %v", k, v, err)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("-workload: %w", err)
+	}
+	return spec, nil
+}
+
+// workloadArgs are the single-trial -workload mode's inputs.
+type workloadArgs struct {
+	single   singleArgs
+	workload string
+	// traceRecord writes the cell's materialized timeline to this file
+	// as rrmp-trace/v1 after the run.
+	traceRecord string
+	// traceReplay drives the run from this recorded rrmp-trace/v1 file
+	// instead of the generated timeline. A trace recorded from the same
+	// cell and seed replays to a byte-identical report.
+	traceReplay string
+}
+
+// runSingleWorkload runs one seeded trial of a multi-client workload cell
+// through the sweep kernel (the Group facade publishes from one sender;
+// workload cells need per-client senders) and prints the cell metrics —
+// the same currency runSingleRMTP speaks, so record and replay runs can
+// be compared byte for byte.
+func runSingleWorkload(w io.Writer, a workloadArgs) error {
+	s := a.single
+	if s.payload < 0 || s.budget < 0 {
+		return fmt.Errorf("-payload and -budget must be non-negative (got %d, %d)", s.payload, s.budget)
+	}
+	spec, err := parseWorkloadSpec(a.workload)
+	if err != nil {
+		return err
+	}
+	sc := repro.Scenario{
+		Loss: s.loss, LossMode: s.lossMode, Burst: s.burst,
+		Churn: s.churn, Crash: s.crash,
+		Policy: s.policy, FixedHold: s.hold,
+		C: s.c, Lambda: s.lambda, RepairBackoff: s.backoff,
+		Msgs: s.msgs, Gap: s.gap, Horizon: s.horizon,
+		ByteBudget: s.budget,
+		Workload:   spec,
+		Shards:     s.shards,
+	}
+	switch s.protocol {
+	case "", "rrmp":
+	case "rmtp":
+		sc.Protocol = "rmtp"
+		sc.Policy = "server"
+	default:
+		return fmt.Errorf("unknown protocol %q (want rrmp or rmtp)", s.protocol)
+	}
+	if s.crash > 0 {
+		sc.CrashRecover = s.crashRecover
+	}
+	if s.partitionAt > 0 {
+		sc.PartitionAt = s.partitionAt
+		sc.PartitionDur = s.partitionFor
+	}
+	sc.PayloadBytes = s.payload
+	if s.payloadModel != "" && s.payloadModel != "fixed" {
+		sc.PayloadModel = s.payloadModel
+	}
+	if s.tree != "" {
+		shape, err := parseTreeShape(s.tree)
+		if err != nil {
+			return err
+		}
+		sc.Tree = &shape
+	} else {
+		sizes, err := parseSizes(s.regionsCSV)
+		if err != nil {
+			return err
+		}
+		sc.Regions = sizes
+		sc.Star = s.star
+	}
+
+	var m map[string]float64
+	if a.traceReplay != "" {
+		f, err := os.Open(a.traceReplay)
+		if err != nil {
+			return fmt.Errorf("opening trace: %w", err)
+		}
+		tl, err := repro.ReplayTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("replaying %s: %w", a.traceReplay, err)
+		}
+		if m, err = repro.RunScenarioTimeline(sc, s.seed, tl); err != nil {
+			return err
+		}
+	} else {
+		if m, err = repro.RunScenario(sc, s.seed); err != nil {
+			return err
+		}
+		if a.traceRecord != "" {
+			tl, err := repro.ScenarioTimeline(sc, s.seed)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(a.traceRecord)
+			if err != nil {
+				return fmt.Errorf("creating trace: %w", err)
+			}
+			if err := repro.RecordTrace(f, tl); err != nil {
+				f.Close()
+				return fmt.Errorf("recording trace: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("closing trace: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "rrmp-sim: wrote %s (%d events, %d clients)\n",
+				a.traceRecord, len(tl), tl.Clients())
+		}
+	}
+	fmt.Fprintf(w, "workload cell: %s (seed %d)\n", sc.Name(), s.seed)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %-28s %g\n", k, m[k])
 	}
 	return nil
 }

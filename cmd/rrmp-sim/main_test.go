@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -566,6 +567,191 @@ func TestTraceOutWritesFile(t *testing.T) {
 	}
 	if !bytes.Contains(blob, []byte("DELIVER")) {
 		t.Fatalf("trace file has no DELIVER events; got %d bytes", len(blob))
+	}
+}
+
+// TestParseWorkloadSpec covers the -workload flag parser: presets,
+// key=val specs (windows included), and the error paths.
+func TestParseWorkloadSpec(t *testing.T) {
+	if spec, err := parseWorkloadSpec("mc"); err != nil || spec.Clients != 8 {
+		t.Fatalf("preset mc = %+v, %v", spec, err)
+	}
+	if spec, err := parseWorkloadSpec("vod"); err != nil || spec.LateJoinFrac != 0.25 {
+		t.Fatalf("preset vod = %+v, %v", spec, err)
+	}
+	spec, err := parseWorkloadSpec("clients=4,msgs=32,arrival=burst,gap=200ms,burst-len=4,burst-gap=5ms,window=0s-1s:4,window=2s-4s:0.5,size-model=lognormal,size-mean=512,zipf=1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Clients != 4 || spec.Msgs != 32 || spec.BurstLen != 4 ||
+		spec.Gap != 200*time.Millisecond || len(spec.Windows) != 2 ||
+		spec.Windows[1].Factor != 0.5 || spec.SizeMean != 512 {
+		t.Fatalf("parsed spec = %+v", spec)
+	}
+	for _, bad := range []string{
+		"bogus-preset",                  // not key=val, not a preset
+		"clients=x",                     // bad int
+		"clients=4",                     // msgs missing -> Validate fails
+		"clients=4,msgs=8,arrival=warp", // unknown arrival
+		"clients=4,msgs=8,window=1s:4",  // malformed window
+		"clients=4,msgs=8,frobnicate=1", // unknown key
+	} {
+		if _, err := parseWorkloadSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestWorkloadRecordReplayByteIdentical is the CLI trace acceptance gate:
+// a -workload run that records its timeline and a second run replaying
+// that file print byte-identical metrics.
+func TestWorkloadRecordReplayByteIdentical(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "mc.trace")
+	base := singleArgs{
+		regionsCSV: "10,10", loss: 0.1, lossMode: "hash",
+		c: 6, lambda: 1, policy: "two-phase", hold: 500 * time.Millisecond,
+		msgs: 20, gap: 20 * time.Millisecond, horizon: 5 * time.Second,
+		seed: 7,
+	}
+	var recorded bytes.Buffer
+	if err := runSingleWorkload(&recorded, workloadArgs{
+		single: base, workload: "mc", traceRecord: trace,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(blob, []byte("rrmp-trace/v1\n")) {
+		t.Fatalf("trace lacks the schema header: %q", blob[:20])
+	}
+	var replayed bytes.Buffer
+	if err := runSingleWorkload(&replayed, workloadArgs{
+		single: base, workload: "mc", traceReplay: trace,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if recorded.String() != replayed.String() {
+		t.Fatalf("replay output differs from recording run:\n--- recorded ---\n%s--- replayed ---\n%s",
+			recorded.String(), replayed.String())
+	}
+	if !bytes.Contains(recorded.Bytes(), []byte("wl=poisson:c8:m64")) {
+		t.Fatalf("output lacks the workload token:\n%s", recorded.String())
+	}
+	// A truncated trace must be rejected loudly, not replayed short.
+	if err := os.WriteFile(trace, blob[:len(blob)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSingleWorkload(io.Discard, workloadArgs{
+		single: base, workload: "mc", traceReplay: trace,
+	}); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+// TestSweepWorkloadFamilyAppends pins the default -sweep shape: the
+// workload family's cells append after every cell of the base matrix,
+// carry the wl= token and the workload-only keys, and leave the base
+// cells' names and key sets untouched.
+func TestSweepWorkloadFamilyAppends(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.json")
+	if err := runSweep(sweepArgs{
+		sweep:     true,
+		swRegions: "6", // shrink the base matrix; the family keeps its real shape
+		c:         6, lambda: 1, hold: 500 * time.Millisecond,
+		msgs: 20, gap: 20 * time.Millisecond, horizon: 5 * time.Second,
+		trials:         1,
+		seed:           1,
+		outPath:        out,
+		quiet:          true,
+		workloadFamily: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep repro.SweepReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	firstWL := -1
+	for i, cell := range rep.Cells {
+		if cell.Scenario.Workload != nil {
+			if firstWL < 0 {
+				firstWL = i
+			}
+			if !strings.Contains(cell.Name, " wl=") {
+				t.Fatalf("workload cell %q lacks the wl token", cell.Name)
+			}
+			if _, ok := cell.Aggregate.Metric("clients"); !ok {
+				t.Fatalf("workload cell %q reports no clients", cell.Name)
+			}
+		} else {
+			if firstWL >= 0 {
+				t.Fatalf("legacy cell %q after the workload family began", cell.Name)
+			}
+			if strings.Contains(cell.Name, " wl=") {
+				t.Fatalf("legacy cell %q carries a wl token", cell.Name)
+			}
+			if _, ok := cell.Aggregate.Metric("clients"); ok {
+				t.Fatalf("legacy cell %q leaked the clients key", cell.Name)
+			}
+		}
+	}
+	if firstWL < 0 || len(rep.Cells)-firstWL != 18 {
+		t.Fatalf("workload family has %d cells starting at %d; want 18 appended",
+			len(rep.Cells)-firstWL, firstWL)
+	}
+	vodCells := 0
+	for _, cell := range rep.Cells[firstWL:] {
+		if cell.Scenario.Workload.LateJoinFrac > 0 {
+			vodCells++
+			if _, ok := cell.Aggregate.Metric("late_joiners"); !ok {
+				t.Fatalf("VoD cell %q reports no late_joiners", cell.Name)
+			}
+		}
+	}
+	if vodCells != 6 {
+		t.Fatalf("workload family has %d VoD cells, want 6", vodCells)
+	}
+}
+
+// TestSweepWorkloadAxisPinned covers -workload in multi-trial mode: the
+// flag pins the sweep's workload axis to that one spec.
+func TestSweepWorkloadAxisPinned(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "cell.json")
+	if err := runSweep(sweepArgs{
+		regionsCSV: "8,8", loss: 0.1, lossMode: "hash",
+		c: 6, lambda: 1, hold: 500 * time.Millisecond, policy: "two-phase",
+		msgs: 10, gap: 20 * time.Millisecond, horizon: 3 * time.Second,
+		trials:   2,
+		seed:     1,
+		workload: "bursty",
+		outPath:  out,
+		quiet:    true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep repro.SweepReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("pinned workload cell sweep has %d cells, want 1", len(rep.Cells))
+	}
+	cell := rep.Cells[0]
+	if cell.Scenario.Workload == nil || cell.Scenario.Workload.Arrival != "burst" {
+		t.Fatalf("cell %q lost the -workload spec", cell.Name)
+	}
+	if p, ok := cell.Aggregate.Metric("publishes"); !ok || p.Mean != 48 {
+		t.Fatalf("cell %q publishes = %+v, want 48", cell.Name, p)
 	}
 }
 

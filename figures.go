@@ -27,6 +27,8 @@ type (
 	LambdaPoint = runner.LambdaPoint
 	// OverheadResult is an A6 row.
 	OverheadResult = runner.OverheadResult
+	// VoDResult is an A7 row.
+	VoDResult = runner.VoDResult
 	// SearchConfig parameterizes RunSearch.
 	SearchConfig = runner.SearchConfig
 	// SearchResult is RunSearch's aggregate.
@@ -106,4 +108,11 @@ func AblationLambda(lambdas []float64, runs int, seed uint64) ([]LambdaPoint, er
 // stability-detection digests.
 func AblationStabilityTraffic(seed uint64) ([]OverheadResult, error) {
 	return runner.AblationStabilityTraffic(seed)
+}
+
+// AblationVoDPrefixPush runs A7: the VoD prefix-push workload (late
+// joiners needing the whole published prefix) under the two-phase,
+// fixed-hold and buffer-all policies.
+func AblationVoDPrefixPush(seed uint64) ([]VoDResult, error) {
+	return runner.AblationVoDPrefixPush(seed)
 }

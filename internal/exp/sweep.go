@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/workload"
 )
 
 // TreeShape describes a balanced multi-level recovery hierarchy: Levels
@@ -99,6 +101,13 @@ type Scenario struct {
 	// (rrmp.Params.ByteBudget): stores past the cap displace older
 	// entries, short-term first. Zero means unlimited.
 	ByteBudget int `json:"byte_budget,omitempty"`
+	// Workload, when non-nil, replaces the single-sender constant-gap
+	// publish stream (Msgs/Gap/PayloadBytes/PayloadModel) with a
+	// multi-client workload.Spec: N publishers, per-client arrival
+	// processes, Zipf volume skew, and optionally the VoD late-join
+	// regime. Nil keeps the historic shape, omitted from JSON so legacy
+	// cells keep their bytes.
+	Workload *workload.Spec `json:"workload,omitempty"`
 	// Shards is an execution knob, not part of the cell's identity: run
 	// the trial on up to this many region-sharded event loops (<= 1 means
 	// the serial engine). Aggregates are byte-identical at any value — the
@@ -160,6 +169,11 @@ func (s Scenario) Name() string {
 	}
 	if s.ByteBudget > 0 {
 		name += fmt.Sprintf(" budget=%d", s.ByteBudget)
+	}
+	// The workload token appears only for multi-client cells, so every
+	// single-sender cell keeps its historical name.
+	if s.Workload != nil {
+		name += " wl=" + s.Workload.Token()
 	}
 	// The protocol token appears only for non-RRMP cells, so every
 	// historical cell keeps its name.
@@ -236,6 +250,12 @@ type Sweep struct {
 	Protocols []string `json:"protocols,omitempty"`
 	// LossMode applies to every lossy cell; see Scenario.LossMode.
 	LossMode string `json:"loss_mode,omitempty"`
+	// Workloads lists multi-client workload specs to sweep; nil entries
+	// mean the legacy single-sender stream (default [nil]). The workload
+	// axis is the OUTERMOST expansion dimension with the legacy shape
+	// first, so adding workloads to a matrix appends whole families after
+	// every existing cell without moving (or re-byting) any of them.
+	Workloads []*workload.Spec `json:"workloads,omitempty"`
 	// Shards applies to every cell; an execution knob excluded from JSON
 	// and cell identity (see Scenario.Shards).
 	Shards int `json:"-"`
@@ -346,8 +366,76 @@ func ScaleSweep1M() Sweep {
 	}
 }
 
-// Expand returns the cartesian product in a fixed order: the protocol
-// axis outermost (RRMP families before any "rmtp" baseline family), then
+// MultiClientWorkload is the workload family's many-publishers cell: 8
+// concurrent Poisson publishers with Zipf-1.1 volume skew (the busiest
+// client publishes ~25 of the 64 messages, the quietest ~3) and
+// heavy-tailed lognormal payloads — the ServeGen-style shape where
+// per-source reception state and byte accounting both matter.
+func MultiClientWorkload() *workload.Spec {
+	return &workload.Spec{
+		Clients: 8, Msgs: 64,
+		Arrival: workload.ArrivalPoisson, Gap: 100 * time.Millisecond,
+		ZipfS:     1.1,
+		SizeModel: workload.SizeLognormal, SizeMean: 512,
+	}
+}
+
+// BurstyWorkload is the workload family's diurnal-burst cell: 4 publishers
+// emitting 4-message bursts, with rate windows that run 4x hot for the
+// first second and cool to half rate afterwards — the §2.1 burst regime
+// whose tail losses session messages exist to detect, now phase-shifted
+// across clients.
+func BurstyWorkload() *workload.Spec {
+	return &workload.Spec{
+		Clients: 4, Msgs: 48,
+		Arrival: workload.ArrivalBurst, Gap: 200 * time.Millisecond,
+		BurstLen: 4, BurstGap: 5 * time.Millisecond,
+		Windows: []workload.Window{
+			{From: 0, To: time.Second, Factor: 4},
+			{From: 2 * time.Second, To: 4 * time.Second, Factor: 0.5},
+		},
+	}
+}
+
+// VoDPrefixPush is the workload family's video-on-demand cell (after Nair
+// & Jayarekha's prefix-push regime): one sender pushes a 60-message 1 KiB
+// prefix over the first ~1.2 s, and a quarter of the members join late —
+// between 1.5 s and 2.5 s — needing the entire prefix recovered. This is
+// the regime the paper's two-phase long-term set was designed for: a
+// fixed-hold policy has evicted the early prefix everywhere by the time
+// the joiners arrive.
+func VoDPrefixPush() *workload.Spec {
+	return &workload.Spec{
+		Clients: 1, Msgs: 60,
+		Arrival: workload.ArrivalConstant, Gap: 20 * time.Millisecond,
+		SizeModel: workload.SizeFixed, SizeMean: 1024,
+		LateJoinFrac: 0.25, LateJoinAt: 1500 * time.Millisecond,
+		LateJoinSpread: time.Second,
+	}
+}
+
+// WorkloadSweep returns the standing multi-client workload matrix appended
+// after DefaultSweep in BENCH_sweep.json: the three workload shapes
+// (multi-client Zipf, diurnal bursts, VoD prefix-push) over a two-region
+// topology, both loss rates, both buffering policies, and both protocols.
+// Hash-mode loss keeps every rrmp cell shard-safe — the whole family runs
+// parallel. A separate sweep rather than more DefaultSweep axes so the
+// committed 576-cell matrix keeps its bytes.
+func WorkloadSweep() Sweep {
+	return Sweep{
+		Workloads: []*workload.Spec{MultiClientWorkload(), BurstyWorkload(), VoDPrefixPush()},
+		Regions:   [][]int{{30, 30}},
+		Losses:    []float64{0.05, 0.20},
+		LossMode:  "hash",
+		Policies:  []string{"two-phase", "fixed"},
+		Protocols: []string{"rrmp", "rmtp"},
+	}
+}
+
+// Expand returns the cartesian product in a fixed order: the workload
+// axis outermost (the legacy single-sender shape — nil — before any
+// multi-client family), then the protocol
+// axis (RRMP families before any "rmtp" baseline family), then
 // payload sizes and byte budgets (so the default (0, 0) block — when
 // present — reproduces the pre-axis matrix cell for cell before any
 // byte-axis family follows), then the topology axis (all Regions vectors,
@@ -414,6 +502,10 @@ func (sw Sweep) Expand() []Scenario {
 	if len(protocols) == 0 {
 		protocols = []string{""}
 	}
+	workloads := sw.Workloads
+	if len(workloads) == 0 {
+		workloads = []*workload.Spec{nil}
+	}
 
 	type topoCell struct {
 		regions []int
@@ -428,60 +520,63 @@ func (sw Sweep) Expand() []Scenario {
 		topos = append(topos, topoCell{tree: &t})
 	}
 
-	out := make([]Scenario, 0, len(protocols)*len(payloads)*len(budgets)*
+	out := make([]Scenario, 0, len(workloads)*len(protocols)*len(payloads)*len(budgets)*
 		len(topos)*len(losses)*len(churns)*len(crashes)*len(partitions)*len(policies))
-	for _, proto := range protocols {
-		if proto == "rrmp" {
-			proto = "" // canonical default, so RRMP cells keep their JSON bytes
-		}
-		pols := policies
-		if proto == "rmtp" {
-			// The baseline's buffering discipline is the repair server
-			// itself; RRMP policy names do not apply, so the axis
-			// collapses to one cell per combination.
-			pols = []string{"server"}
-		}
-		for _, pb := range payloads {
-			for _, bud := range budgets {
-				for _, tc := range topos {
-					for _, l := range losses {
-						for _, ch := range churns {
-							for _, cr := range crashes {
-								for _, pd := range partitions {
-									for _, p := range pols {
-										sc := Scenario{
-											Protocol:      proto,
-											Regions:       append([]int(nil), tc.regions...),
-											Star:          sw.Star && tc.tree == nil,
-											Tree:          tc.tree,
-											Loss:          l,
-											Burst:         sw.Burst,
-											Shards:        sw.Shards,
-											Churn:         ch,
-											Crash:         cr,
-											Policy:        p,
-											FixedHold:     hold,
-											C:             sw.C,
-											Lambda:        sw.Lambda,
-											RepairBackoff: sw.RepairBackoff,
-											Msgs:          msgs,
-											Gap:           gap,
-											Horizon:       horizon,
-											PayloadBytes:  pb,
-											PayloadModel:  sw.PayloadModel,
-											ByteBudget:    bud,
+	for _, wl := range workloads {
+		for _, proto := range protocols {
+			if proto == "rrmp" {
+				proto = "" // canonical default, so RRMP cells keep their JSON bytes
+			}
+			pols := policies
+			if proto == "rmtp" {
+				// The baseline's buffering discipline is the repair server
+				// itself; RRMP policy names do not apply, so the axis
+				// collapses to one cell per combination.
+				pols = []string{"server"}
+			}
+			for _, pb := range payloads {
+				for _, bud := range budgets {
+					for _, tc := range topos {
+						for _, l := range losses {
+							for _, ch := range churns {
+								for _, cr := range crashes {
+									for _, pd := range partitions {
+										for _, p := range pols {
+											sc := Scenario{
+												Protocol:      proto,
+												Regions:       append([]int(nil), tc.regions...),
+												Star:          sw.Star && tc.tree == nil,
+												Tree:          tc.tree,
+												Loss:          l,
+												Burst:         sw.Burst,
+												Shards:        sw.Shards,
+												Churn:         ch,
+												Crash:         cr,
+												Policy:        p,
+												FixedHold:     hold,
+												C:             sw.C,
+												Lambda:        sw.Lambda,
+												RepairBackoff: sw.RepairBackoff,
+												Msgs:          msgs,
+												Gap:           gap,
+												Horizon:       horizon,
+												PayloadBytes:  pb,
+												PayloadModel:  sw.PayloadModel,
+												ByteBudget:    bud,
+												Workload:      wl,
+											}
+											if l > 0 {
+												sc.LossMode = sw.LossMode
+											}
+											if cr > 0 {
+												sc.CrashRecover = sw.CrashRecover
+											}
+											if pd > 0 {
+												sc.PartitionAt = partAt
+												sc.PartitionDur = pd
+											}
+											out = append(out, sc)
 										}
-										if l > 0 {
-											sc.LossMode = sw.LossMode
-										}
-										if cr > 0 {
-											sc.CrashRecover = sw.CrashRecover
-										}
-										if pd > 0 {
-											sc.PartitionAt = partAt
-											sc.PartitionDur = pd
-										}
-										out = append(out, sc)
 									}
 								}
 							}
@@ -541,8 +636,21 @@ func (r Report) Cell(name string) (Cell, bool) {
 // random numbers, the paired design that lets per-cell differences be read
 // as policy effects rather than draw luck.
 func RunSweep(o Options, sw Sweep, run ScenarioFunc) (Report, error) {
+	return RunSweeps(o, []Sweep{sw}, run)
+}
+
+// RunSweeps expands every sweep in order and runs the concatenated cell
+// list through one shared worker pool — how BENCH_sweep.json gains new
+// cell families without re-byting committed ones: each family is its own
+// sweep, appended after the previous ones. The common-random-numbers
+// pairing spans the whole concatenation (trial i uses one seed
+// everywhere).
+func RunSweeps(o Options, sweeps []Sweep, run ScenarioFunc) (Report, error) {
 	o = o.normalized()
-	scenarios := sw.Expand()
+	var scenarios []Scenario
+	for _, sw := range sweeps {
+		scenarios = append(scenarios, sw.Expand()...)
+	}
 	results := make([][]map[string]float64, len(scenarios))
 	for i := range results {
 		results[i] = make([]map[string]float64, o.Trials)

@@ -128,6 +128,18 @@ func TestShardedSweepByteIdentical(t *testing.T) {
 				Horizon:      3 * time.Second,
 			},
 		},
+		{
+			// The multi-client workload family (hash loss, so every rrmp
+			// cell runs genuinely parallel): pre-materialized timelines and
+			// per-sender hash loss keep multi-publisher cells — and the VoD
+			// late-join schedule — shard-safe by construction; this pins it.
+			name: "workload-family",
+			sw: func() exp.Sweep {
+				sw := exp.WorkloadSweep()
+				sw.Regions = [][]int{{8, 8}}
+				return sw
+			}(),
+		},
 	}
 	for _, tc := range cases {
 		tc := tc

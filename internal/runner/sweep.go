@@ -187,16 +187,25 @@ type faultInjector struct {
 // partition timelines on the simulator from the shared dedicated streams
 // (ChurnStreamLabel, CrashStreamLabel), exactly as both protocol kernels
 // require: churn events first, then crash events (each with its optional
-// recovery), then the partition cut/heal pair. The returned counters are
-// live — read them after the run.
+// recovery), then the partition cut/heal pair. protected lists the nodes
+// faults must never hit — the publisher set (the sender alone in legacy
+// cells, so their candidate lists keep their historical order); the sender
+// is excluded regardless. The returned counters are live — read them
+// after the run.
 func scheduleScenarioFaults(c sim.Engine, net *netsim.Network, topo *topology.Topology,
-	all []topology.NodeID, sc exp.Scenario, seed uint64, inj faultInjector) (leaves, crashes *int) {
+	all []topology.NodeID, sc exp.Scenario, seed uint64,
+	protected []topology.NodeID, inj faultInjector) (leaves, crashes *int) {
 	leaves, crashes = new(int), new(int)
 	var candidates []topology.NodeID
 	if sc.Churn > 0 || sc.Crash > 0 {
+		shielded := make(map[topology.NodeID]bool, len(protected)+1)
+		shielded[topo.Sender()] = true
+		for _, p := range protected {
+			shielded[p] = true
+		}
 		candidates = make([]topology.NodeID, 0, topo.NumNodes()-1)
 		for _, n := range all {
-			if n != topo.Sender() {
+			if !shielded[n] {
 				candidates = append(candidates, n)
 			}
 		}
@@ -242,14 +251,17 @@ func scheduleScenarioFaults(c sim.Engine, net *netsim.Network, topo *topology.To
 // overall delivery ratio, the worst message's reach, and the
 // survivor-scoped variants (crashed and departed members are excused, so
 // these read as the reliability guarantee under the fault threat model).
-func reachMetrics(out map[string]float64, sc exp.Scenario, nNodes, survivors int,
+// msgs is the publish-count denominator: the scenario's nominal Msgs for
+// legacy cells (the historic contract), the timeline's actual publish
+// count for workload cells.
+func reachMetrics(out map[string]float64, msgs, nNodes, survivors int,
 	delivered int64, ids []wire.MessageID,
 	received func(node topology.NodeID, id wire.MessageID) bool,
 	survivor func(node topology.NodeID) bool) {
-	if sc.Msgs <= 0 {
+	if msgs <= 0 {
 		return
 	}
-	out["delivery_ratio"] = float64(delivered) / float64(nNodes*sc.Msgs)
+	out["delivery_ratio"] = float64(delivered) / float64(nNodes*msgs)
 	minReach := nNodes
 	survMinReach := survivors
 	var survDelivered int64
@@ -286,11 +298,18 @@ func reachMetrics(out map[string]float64, sc exp.Scenario, nNodes, survivors int
 // at any parallelism. Scenario.Protocol picks the kernel: the RRMP engine
 // (default) or the RMTP repair-server baseline (runTreeScenario).
 func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
+	return runScenario(sc, seed, nil)
+}
+
+// runScenario is the shared kernel dispatcher. timeline, when non-nil,
+// overrides the scenario's generated publish timeline (the trace-replay
+// path); nil means "materialize from the scenario" (TimelineFor).
+func runScenario(sc exp.Scenario, seed uint64, timeline workload.Timeline) (map[string]float64, error) {
 	switch sc.Protocol {
 	case "", "rrmp":
 		// The paper's protocol, below.
 	case "rmtp":
-		return runTreeScenario(sc, seed)
+		return runTreeScenario(sc, seed, timeline)
 	default:
 		return nil, fmt.Errorf("runner: unknown scenario protocol %q", sc.Protocol)
 	}
@@ -338,9 +357,11 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		params.RepairBackoffMax = sc.RepairBackoff
 	}
 	// Crash and partition cells run the gossip failure detector so that
-	// recovery routes around dead members; fault-free cells keep the
+	// recovery routes around dead members — as do VoD late-join cells,
+	// whose joiners are down for seconds; fault-free cells keep the
 	// detector (and its traffic) off and stay comparable to old runs.
-	params.FDEnabled = sc.Crash > 0 || sc.PartitionAt > 0
+	params.FDEnabled = sc.Crash > 0 || sc.PartitionAt > 0 ||
+		(sc.Workload != nil && sc.Workload.LateJoinFrac > 0)
 	params.ByteBudget = sc.ByteBudget
 	c, err := NewCluster(ClusterConfig{
 		Topo:   topo,
@@ -354,22 +375,57 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 		return nil, fmt.Errorf("runner: scenario cluster: %w", err)
 	}
 
-	sizes, maxSize, err := PayloadSizesFor(sc.PayloadModel, sc.PayloadBytes, sc.Msgs, seed)
-	if err != nil {
-		return nil, fmt.Errorf("runner: scenario payload model: %w", err)
+	tl := timeline
+	if tl == nil {
+		if tl, _, err = TimelineFor(sc, seed); err != nil {
+			return nil, err
+		}
 	}
-	c.Sender.StartSessions()
-	ids := make([]wire.MessageID, 0, sc.Msgs)
+	// One sender per publishing client, client 0 on the legacy sender
+	// node: RRMP tracks reception per source (Member.sources), so
+	// multi-sender publishes flow through the existing machinery — every
+	// publisher announces its own TopSeq via sessions.
+	pubs, err := publisherNodes(topo, tl.Clients())
+	if err != nil {
+		return nil, err
+	}
+	senders := make([]*rrmp.Sender, len(pubs))
+	for i, node := range pubs {
+		if node == topo.Sender() {
+			senders[i] = c.Sender
+		} else {
+			senders[i] = rrmp.NewSender(c.Members[node])
+		}
+		senders[i].StartSessions()
+	}
+
+	// VoD late joiners crash (and drop off the network) at t=0, before any
+	// publish, then recover at their staggered join times with the whole
+	// prefix to catch up on.
+	joiners := lateJoinersFor(topo, sc.Workload, pubs)
+	for _, j := range joiners {
+		j := j
+		c.Engine.At(0, func() {
+			c.Members[j.node].Crash()
+			c.Net.SetDown(j.node, true)
+		})
+		c.Engine.At(j.at, func() {
+			c.Net.SetDown(j.node, false)
+			c.Members[j.node].Recover()
+		})
+	}
+
+	ids := make([]wire.MessageID, 0, len(tl))
 	// One backing buffer serves every publish — each message is the
 	// prefix of its drawn size, so steady-state publishing allocates
 	// nothing. Every member's buffer entry aliases this slice; the
 	// engine never mutates payloads (pinned by a property test), and
 	// Params.CopyOnStore exists for callers that must.
-	payloadBuf := make([]byte, maxSize)
-	for i := 0; i < sc.Msgs; i++ {
-		i := i
-		c.Engine.At(time.Duration(i)*sc.Gap, func() {
-			ids = append(ids, c.Sender.Publish(payloadBuf[:sizes[i]]))
+	payloadBuf := make([]byte, tl.MaxBytes())
+	for i := range tl {
+		ev := tl[i]
+		c.Engine.At(ev.At, func() {
+			ids = append(ids, senders[ev.Client].Publish(payloadBuf[:ev.Bytes]))
 		})
 	}
 
@@ -377,7 +433,7 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 	// recovery and the failure detector, with optional per-victim
 	// recovery) and the partition timeline all come from the shared
 	// scheduler, so the rmtp kernel injects the identical fault sequence.
-	leaves, crashes := scheduleScenarioFaults(c.Engine, c.Net, topo, c.All, sc, seed, faultInjector{
+	leaves, crashes := scheduleScenarioFaults(c.Engine, c.Net, topo, c.All, sc, seed, pubs, faultInjector{
 		excused: func(v topology.NodeID) bool { return c.Members[v].Left() || c.Members[v].Crashed() },
 		leave:   func(v topology.NodeID) { c.Members[v].Leave() },
 		crash: func(v topology.NodeID) {
@@ -439,7 +495,11 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 			unrecoverable += mm.Unrecoverable.Value()
 		}
 	}
-	reachMetrics(out, sc, n, survivors, delivered, ids,
+	msgs := sc.Msgs
+	if sc.Workload != nil {
+		msgs = len(ids)
+	}
+	reachMetrics(out, msgs, n, survivors, delivered, ids,
 		func(node topology.NodeID, id wire.MessageID) bool { return c.Members[node].HasReceived(id) },
 		func(node topology.NodeID) bool { return !c.Members[node].Crashed() && !c.Members[node].Left() })
 	out["duplicates"] = float64(duplicates)
@@ -454,16 +514,17 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 	out["peak_buffered"] = float64(peak)
 	out["long_term_entries"] = float64(longTerm)
 	// The byte-currency keys appear only in cells that engage the payload
-	// or budget axes: pre-axis cells must keep the exact key set the
-	// committed golden reports pin byte for byte. (Their values are
-	// computed either way; for a 256-byte fixed payload they are just the
-	// message metrics × 256.)
-	if sc.PayloadBytes > 0 || sc.ByteBudget > 0 || sc.PayloadModel != "" {
+	// or budget axes (or a size-drawing workload): pre-axis cells must
+	// keep the exact key set the committed golden reports pin byte for
+	// byte. (Their values are computed either way; for a 256-byte fixed
+	// payload they are just the message metrics × 256.)
+	if workloadBytesEngaged(sc) {
 		out["buffer_integral_bytesec"] = byteIntegral
 		out["peak_buffered_bytes"] = float64(peakBytes)
 		out["pressure_evictions"] = float64(pressureEvictions)
 		out["budget_denials"] = float64(budgetDenials)
 	}
+	workloadMetrics(out, sc, len(ids), joiners)
 	out["crashes"] = float64(*crashes)
 	out["suspects"] = float64(suspects)
 	out["unrecoverable"] = float64(unrecoverable)
@@ -483,37 +544,38 @@ func RunScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 // RunSweep expands sw and runs every (cell, trial) pair through the exp
 // worker pool with RunScenario as the kernel.
 func RunSweep(o exp.Options, sw exp.Sweep) (exp.Report, error) {
-	rep, err := exp.RunSweep(o, sw, RunScenario)
-	if err != nil {
-		return rep, err
-	}
-	rep.ExecNote = execNote(sw)
-	return rep, nil
+	return RunSweeps(o, sw)
 }
 
-// execNote summarizes the cells that cannot honor a requested -shards
+// execNotes summarizes the cells that cannot honor a requested -shards
 // width (see effectiveShards): instead of failing or silently lying about
 // the execution, the report carries a top-level note. The note is
 // execution metadata — it never appears at the default width, so the
 // committed default-shards reports keep their bytes.
-func execNote(sw exp.Sweep) string {
-	if sw.Shards <= 1 {
-		return ""
-	}
-	legacy, rmtp := 0, 0
-	cells := sw.Expand()
-	for _, sc := range cells {
-		switch {
-		case sc.Protocol == "rmtp":
-			rmtp++
-		case effectiveShards(sc) == 1:
-			legacy++
+func execNotes(sweeps []exp.Sweep) string {
+	shards, legacy, rmtp, total := 0, 0, 0, 0
+	for _, sw := range sweeps {
+		if sw.Shards > shards {
+			shards = sw.Shards
+		}
+		cells := sw.Expand()
+		total += len(cells)
+		if sw.Shards <= 1 {
+			continue
+		}
+		for _, sc := range cells {
+			switch {
+			case sc.Protocol == "rmtp":
+				rmtp++
+			case effectiveShards(sc) == 1:
+				legacy++
+			}
 		}
 	}
-	if legacy == 0 && rmtp == 0 {
+	if shards <= 1 || (legacy == 0 && rmtp == 0) {
 		return ""
 	}
-	note := fmt.Sprintf("shards=%d requested; %d of %d cells ran serial (", sw.Shards, legacy+rmtp, len(cells))
+	note := fmt.Sprintf("shards=%d requested; %d of %d cells ran serial (", shards, legacy+rmtp, total)
 	sep := ""
 	if legacy > 0 {
 		note += fmt.Sprintf("%d legacy-stream loss — use LossMode \"hash\" for shard-safe loss", legacy)

@@ -2,13 +2,13 @@ package runner
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/rmtp"
 	"repro/internal/topology"
 	"repro/internal/wire"
+	"repro/internal/workload"
 )
 
 // runTreeScenario is RunScenario's kernel for Scenario.Protocol == "rmtp":
@@ -20,7 +20,13 @@ import (
 // RMTP-specific nak_*/ack_* counters; RRMP-only keys (searches, handoffs,
 // long_term_entries, ...) never appear in rmtp cells and vice versa, so
 // the legacy key sets stay untouched.
-func runTreeScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
+// timeline, when non-nil, overrides the generated publish timeline (the
+// trace-replay path). RMTP is a single-source protocol (nodes track
+// reception by bare sequence number from one source), so multi-client
+// timelines publish entirely from the root sender at the same instants
+// with the same sizes — the common-random-numbers pairing across the
+// protocol axis holds on (at, bytes), which is all RMTP can express.
+func runTreeScenario(sc exp.Scenario, seed uint64, timeline workload.Timeline) (map[string]float64, error) {
 	switch sc.Policy {
 	case "", "server":
 		// The baseline has exactly one buffering discipline: the repair
@@ -57,17 +63,38 @@ func runTreeScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 	}
 	c.Sender.StartSessions()
 
-	sizes, maxSize, err := PayloadSizesFor(sc.PayloadModel, sc.PayloadBytes, sc.Msgs, seed)
-	if err != nil {
-		return nil, fmt.Errorf("runner: scenario payload model: %w", err)
+	tl := timeline
+	if tl == nil {
+		if tl, _, err = TimelineFor(sc, seed); err != nil {
+			return nil, err
+		}
 	}
-	ids := make([]wire.MessageID, 0, sc.Msgs)
+	// The publisher set matches the RRMP kernel's (even though every
+	// publish flows from the root here) so the fault scheduler shields
+	// the identical node set under both protocols.
+	pubs, err := publisherNodes(topo, tl.Clients())
+	if err != nil {
+		return nil, err
+	}
+
+	// VoD late joiners: down from t=0, rejoining staggered with the whole
+	// prefix to recover. Their frozen ACK floors pin the server buffers
+	// until they return — the baseline's way of "planning" for late
+	// joiners is to never trim.
+	joiners := lateJoinersFor(topo, sc.Workload, pubs)
+	for _, j := range joiners {
+		j := j
+		c.Sim.At(0, func() { c.Crash(j.node) })
+		c.Sim.At(j.at, func() { c.Recover(j.node) })
+	}
+
+	ids := make([]wire.MessageID, 0, len(tl))
 	// One backing buffer serves every publish, as in the RRMP kernel.
-	payloadBuf := make([]byte, maxSize)
-	for i := 0; i < sc.Msgs; i++ {
-		i := i
-		c.Sim.At(time.Duration(i)*sc.Gap, func() {
-			ids = append(ids, c.Sender.Publish(payloadBuf[:sizes[i]]))
+	payloadBuf := make([]byte, tl.MaxBytes())
+	for i := range tl {
+		ev := tl[i]
+		c.Sim.At(ev.At, func() {
+			ids = append(ids, c.Sender.Publish(payloadBuf[:ev.Bytes]))
 		})
 	}
 
@@ -75,7 +102,7 @@ func runTreeScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 	// cell injects the identical churn/crash/partition sequence under
 	// both protocols (the victims differ only in what failing *means*:
 	// no handoff protocol, frozen ACK floors, orphaned regions).
-	leaves, crashes := scheduleScenarioFaults(c.Sim, c.Net, topo, c.All, sc, seed, faultInjector{
+	leaves, crashes := scheduleScenarioFaults(c.Sim, c.Net, topo, c.All, sc, seed, pubs, faultInjector{
 		excused: func(v topology.NodeID) bool { return c.Nodes[v].Left() || c.Nodes[v].Crashed() },
 		leave:   c.Leave,
 		crash:   c.Crash,
@@ -129,7 +156,11 @@ func runTreeScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 			unrecoverable += mm.Unrecoverable.Value()
 		}
 	}
-	reachMetrics(out, sc, n, survivors, delivered, ids,
+	msgs := sc.Msgs
+	if sc.Workload != nil {
+		msgs = len(ids)
+	}
+	reachMetrics(out, msgs, n, survivors, delivered, ids,
 		func(node topology.NodeID, id wire.MessageID) bool { return c.Nodes[node].HasReceived(id.Seq) },
 		func(node topology.NodeID) bool { return !c.Nodes[node].Crashed() && !c.Nodes[node].Left() })
 	out["duplicates"] = float64(duplicates)
@@ -143,13 +174,14 @@ func runTreeScenario(sc exp.Scenario, seed uint64) (map[string]float64, error) {
 	out["buffer_integral_msgsec"] = bufferIntegral
 	out["peak_buffered"] = float64(peak)
 	// Byte-currency keys follow the RRMP rule: only cells that engage the
-	// payload or budget axes carry them.
-	if sc.PayloadBytes > 0 || sc.ByteBudget > 0 || sc.PayloadModel != "" {
+	// payload or budget axes (or a size-drawing workload) carry them.
+	if workloadBytesEngaged(sc) {
 		out["buffer_integral_bytesec"] = byteIntegral
 		out["peak_buffered_bytes"] = float64(peakBytes)
 		out["pressure_evictions"] = float64(pressureEvictions)
 		out["budget_denials"] = float64(budgetDenials)
 	}
+	workloadMetrics(out, sc, len(ids), joiners)
 	out["crashes"] = float64(*crashes)
 	out["unrecoverable"] = float64(unrecoverable)
 	out["partition_drops"] = float64(c.Net.Stats().PartitionDrops())

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// TraceSchema is the recorded-trace header line: the format is one header
+// line followed by one "at_ns client bytes\n" record per publish, in
+// timeline order. The encoding is canonical — decimal integers with no
+// sign, no leading zeros, single spaces, a newline after every record —
+// so any accepted trace re-encodes to the exact bytes it was read from
+// and a byte-level diff of two traces is a semantic diff.
+const TraceSchema = "rrmp-trace/v1"
+
+// Decoder guard rails: a trace is attacker-supplied input once it is a CLI
+// flag, so Replay bounds the per-record fields instead of letting a forged
+// record demand a 1EB payload buffer or 2^60 client slots downstream.
+const (
+	// maxTraceBytes caps one record's payload size (1 GiB).
+	maxTraceBytes = 1 << 30
+	// maxTraceClients caps the client index space (1M publishers — the
+	// scale ladder's member ceiling).
+	maxTraceClients = 1 << 20
+)
+
+// Record writes the timeline in the rrmp-trace/v1 format. Invalid
+// timelines are rejected — a recorded trace must always replay.
+func Record(w io.Writer, tl Timeline) error {
+	if !tl.Valid() {
+		return fmt.Errorf("workload: refusing to record invalid timeline")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s\n", TraceSchema); err != nil {
+		return err
+	}
+	for _, e := range tl {
+		if e.Bytes > maxTraceBytes || e.Client >= maxTraceClients {
+			return fmt.Errorf("workload: event (%v, client %d, %dB) outside trace bounds", e.At, e.Client, e.Bytes)
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", int64(e.At), e.Client, e.Bytes); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Replay parses an rrmp-trace/v1 stream back into a Timeline. Decoding is
+// strict: a malformed header, a non-canonical number, an out-of-order
+// timestamp, or a missing final newline is an error, never a guess — the
+// invariant FuzzTraceDecode pins is that every accepted input re-encodes
+// byte-identically.
+func Replay(r io.Reader) (Timeline, error) {
+	data, err := io.ReadAll(io.LimitReader(r, 1<<28))
+	if err != nil {
+		return nil, err
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, TraceSchema+"\n") {
+		return nil, fmt.Errorf("workload: trace missing %q header", TraceSchema)
+	}
+	s = s[len(TraceSchema)+1:]
+	var tl Timeline
+	prev := time.Duration(0)
+	for line := 1; len(s) > 0; line++ {
+		nl := strings.IndexByte(s, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("workload: trace record %d missing final newline", line)
+		}
+		rec := s[:nl]
+		s = s[nl+1:]
+		var at, client, bytes int64
+		if !parseTraceRecord(rec, &at, &client, &bytes) {
+			return nil, fmt.Errorf("workload: trace record %d %q not canonical", line, rec)
+		}
+		e := Event{At: time.Duration(at), Client: int(client), Bytes: int(bytes)}
+		if e.At < prev {
+			return nil, fmt.Errorf("workload: trace record %d goes back in time (%v < %v)", line, e.At, prev)
+		}
+		if e.Bytes < 1 || e.Bytes > maxTraceBytes || e.Client >= maxTraceClients {
+			return nil, fmt.Errorf("workload: trace record %d outside bounds", line)
+		}
+		prev = e.At
+		tl = append(tl, e)
+	}
+	return tl, nil
+}
+
+// parseTraceRecord parses one canonical "a b c" record: three base-10
+// integers, single-space separated, no signs, no leading zeros.
+func parseTraceRecord(rec string, fields ...*int64) bool {
+	parts := strings.Split(rec, " ")
+	if len(parts) != len(fields) {
+		return false
+	}
+	for i, p := range parts {
+		v, ok := parseCanonicalInt(p)
+		if !ok {
+			return false
+		}
+		*fields[i] = v
+	}
+	return true
+}
+
+// parseCanonicalInt accepts only the canonical decimal form %d emits for a
+// non-negative int64: "0", or a nonzero digit followed by digits, within
+// int64 range.
+func parseCanonicalInt(s string) (int64, bool) {
+	if s == "" || len(s) > 19 {
+		return 0, false
+	}
+	if s[0] == '0' && len(s) > 1 {
+		return 0, false
+	}
+	var v int64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := int64(c - '0')
+		if v > (1<<63-1-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	return v, true
+}

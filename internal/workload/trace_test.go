@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	s := &Spec{
+		Clients: 4, Msgs: 50, Arrival: ArrivalPoisson, Gap: 5 * time.Millisecond,
+		ZipfS: 1.1, SizeModel: SizeLognormal, SizeMean: 512,
+	}
+	tl, err := s.Timeline(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tl) {
+		t.Fatalf("replayed %d events, recorded %d", len(got), len(tl))
+	}
+	for i := range tl {
+		if got[i] != tl[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], tl[i])
+		}
+	}
+	// Re-encoding the replayed timeline must reproduce the trace bytes.
+	var again bytes.Buffer
+	if err := Record(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-encoded trace differs from original bytes")
+	}
+}
+
+func TestTraceRecordRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	bad := Timeline{{At: time.Second, Client: 0, Bytes: 10}, {At: 0, Client: 0, Bytes: 10}}
+	if err := Record(&buf, bad); err == nil {
+		t.Fatal("out-of-order timeline recorded")
+	}
+}
+
+func TestTraceReplayRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"bad header":         "rrmp-trace/v2\n0 0 1\n",
+		"no final newline":   TraceSchema + "\n0 0 1",
+		"leading zero":       TraceSchema + "\n01 0 1\n",
+		"sign":               TraceSchema + "\n+1 0 1\n",
+		"negative":           TraceSchema + "\n-1 0 1\n",
+		"hex":                TraceSchema + "\n0x1 0 1\n",
+		"double space":       TraceSchema + "\n0  0 1\n",
+		"trailing space":     TraceSchema + "\n0 0 1 \n",
+		"two fields":         TraceSchema + "\n0 0\n",
+		"four fields":        TraceSchema + "\n0 0 1 2\n",
+		"zero bytes":         TraceSchema + "\n0 0 0\n",
+		"huge bytes":         TraceSchema + "\n0 0 99999999999\n",
+		"huge client":        TraceSchema + "\n0 99999999 1\n",
+		"time goes backward": TraceSchema + "\n5 0 1\n4 0 1\n",
+		"int64 overflow":     TraceSchema + "\n99999999999999999999 0 1\n",
+		"crlf":               TraceSchema + "\n0 0 1\r\n",
+	}
+	for name, in := range cases {
+		if _, err := Replay(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+	// Header alone is a valid empty trace.
+	tl, err := Replay(strings.NewReader(TraceSchema + "\n"))
+	if err != nil || len(tl) != 0 {
+		t.Fatalf("empty trace = (%v, %v)", tl, err)
+	}
+}
+
+// goldenTraceSpec pins the committed regression fixture: any change to the
+// generator pipeline (client streams, zipf apportionment, merge order,
+// size draws) or to the trace encoding shows up as a byte diff against
+// testdata/golden.trace.
+func goldenTraceSpec() *Spec {
+	return &Spec{
+		Clients: 4, Msgs: 32, Arrival: ArrivalPoisson, Gap: 10 * time.Millisecond,
+		ZipfS: 1.1, SizeModel: SizeLognormal, SizeMean: 512,
+	}
+}
+
+func TestGoldenTrace(t *testing.T) {
+	tl, err := goldenTraceSpec().Timeline(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.trace")
+	if os.Getenv("UPDATE_TRACE_GOLDEN") != "" {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_TRACE_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("generated trace differs from committed golden.trace; " +
+			"if the change is intentional, regenerate with UPDATE_TRACE_GOLDEN=1")
+	}
+	got, err := Replay(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tl) {
+		t.Fatalf("golden replays to %d events, want %d", len(got), len(tl))
+	}
+}
+
+// FuzzTraceDecode pins the decoder's two safety properties: arbitrary
+// bytes never panic, and any accepted trace re-encodes to the exact input
+// bytes (canonical form).
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte(TraceSchema + "\n"))
+	f.Add([]byte(TraceSchema + "\n0 0 1\n"))
+	f.Add([]byte(TraceSchema + "\n0 0 256\n5000000 1 512\n5000000 2 64\n"))
+	f.Add([]byte(TraceSchema + "\n01 0 1\n"))
+	f.Add([]byte("rrmp-trace/v2\n0 0 1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tl, err := Replay(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !tl.Valid() {
+			t.Fatalf("decoder accepted an invalid timeline from %q", data)
+		}
+		var buf bytes.Buffer
+		if err := Record(&buf, tl); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted trace not canonical:\nin:  %q\nout: %q", data, buf.Bytes())
+		}
+	})
+}

@@ -33,13 +33,16 @@ func Constant(n int, gap time.Duration) Schedule {
 }
 
 // Poisson returns n publishes with exponential inter-arrival times of the
-// given mean (a Poisson arrival process), using r for randomness.
-func Poisson(n int, meanGap time.Duration, r *rng.Source) Schedule {
+// given mean (a Poisson arrival process), using r for randomness. A
+// non-positive mean gap is an error: generators are reachable from CLI
+// flags, so bad input must surface as an error, not a panic (NewSizeModel
+// set the convention).
+func Poisson(n int, meanGap time.Duration, r *rng.Source) (Schedule, error) {
 	if n <= 0 {
-		return nil
+		return nil, nil
 	}
 	if meanGap <= 0 {
-		panic(fmt.Sprintf("workload: non-positive mean gap %v", meanGap))
+		return nil, fmt.Errorf("workload: non-positive mean gap %v", meanGap)
 	}
 	rate := 1 / meanGap.Seconds()
 	out := make(Schedule, n)
@@ -48,13 +51,18 @@ func Poisson(n int, meanGap time.Duration, r *rng.Source) Schedule {
 		out[i] = at
 		at += time.Duration(r.ExpFloat64(rate) * float64(time.Second))
 	}
-	return out
+	return out, nil
 }
 
 // Bursts returns publishes grouped into bursts: burstLen messages spaced
-// inGap apart, with betweenGap between burst starts, for total messages.
-// This is the "burst" traffic whose tail losses the paper's session
-// messages exist to detect (§2.1).
+// inGap apart, with betweenGap from the last publish of one burst to the
+// start of the next, for total messages. This is the "burst" traffic whose
+// tail losses the paper's session messages exist to detect (§2.1).
+//
+// Advancing from the previous burst's last publish (rather than its start)
+// keeps the schedule monotone even when a burst lasts longer than the
+// between-burst gap — betweenGap < (burstLen-1)*inGap used to interleave
+// bursts out of order, failing Valid().
 func Bursts(total, burstLen int, inGap, betweenGap time.Duration) Schedule {
 	if total <= 0 || burstLen <= 0 {
 		return nil
@@ -62,10 +70,12 @@ func Bursts(total, burstLen int, inGap, betweenGap time.Duration) Schedule {
 	out := make(Schedule, 0, total)
 	burstStart := time.Duration(0)
 	for len(out) < total {
+		last := burstStart
 		for i := 0; i < burstLen && len(out) < total; i++ {
-			out = append(out, burstStart+time.Duration(i)*inGap)
+			last = burstStart + time.Duration(i)*inGap
+			out = append(out, last)
 		}
-		burstStart += betweenGap
+		burstStart = last + betweenGap
 	}
 	return out
 }

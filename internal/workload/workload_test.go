@@ -31,7 +31,10 @@ func TestPoissonMeanGap(t *testing.T) {
 	r := rng.New(3)
 	const n = 20000
 	mean := 10 * time.Millisecond
-	s := Poisson(n, mean, r)
+	s, err := Poisson(n, mean, r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !s.Valid() {
 		t.Fatal("Poisson schedule not sorted")
 	}
@@ -45,8 +48,14 @@ func TestPoissonMeanGap(t *testing.T) {
 }
 
 func TestPoissonDeterministic(t *testing.T) {
-	a := Poisson(100, time.Millisecond, rng.New(9))
-	b := Poisson(100, time.Millisecond, rng.New(9))
+	a, err := Poisson(100, time.Millisecond, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Poisson(100, time.Millisecond, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("same seed, different schedule")
@@ -54,13 +63,18 @@ func TestPoissonDeterministic(t *testing.T) {
 	}
 }
 
-func TestPoissonPanicsOnBadGap(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	Poisson(5, 0, rng.New(1))
+// A non-positive mean gap is CLI-reachable input, so it must surface as an
+// error, not a panic (the NewSizeModel convention).
+func TestPoissonErrorsOnBadGap(t *testing.T) {
+	if _, err := Poisson(5, 0, rng.New(1)); err == nil {
+		t.Fatal("no error for zero mean gap")
+	}
+	if _, err := Poisson(5, -time.Second, rng.New(1)); err == nil {
+		t.Fatal("no error for negative mean gap")
+	}
+	if s, err := Poisson(0, 0, rng.New(1)); s != nil || err != nil {
+		t.Fatalf("empty poisson = (%v, %v), want (nil, nil)", s, err)
+	}
 }
 
 func TestBurstsShape(t *testing.T) {
@@ -68,10 +82,12 @@ func TestBurstsShape(t *testing.T) {
 	if len(s) != 7 {
 		t.Fatalf("len %d", len(s))
 	}
+	// betweenGap runs from each burst's LAST publish: burst one ends at
+	// 2ms, so burst two starts at 102ms and burst three at 204ms.
 	want := Schedule{
 		0, time.Millisecond, 2 * time.Millisecond,
-		100 * time.Millisecond, 101 * time.Millisecond, 102 * time.Millisecond,
-		200 * time.Millisecond,
+		102 * time.Millisecond, 103 * time.Millisecond, 104 * time.Millisecond,
+		204 * time.Millisecond,
 	}
 	for i := range want {
 		if s[i] != want[i] {
@@ -80,6 +96,29 @@ func TestBurstsShape(t *testing.T) {
 	}
 	if !s.Valid() {
 		t.Fatal("bursts not sorted")
+	}
+}
+
+// Regression for the non-monotone Bursts bug: when a burst lasts longer
+// than the between-burst gap (betweenGap < (burstLen-1)*inGap), advancing
+// from the burst START interleaved bursts out of order. Advancing from the
+// burst's last publish keeps the schedule monotone.
+func TestBurstsMonotoneWhenBurstsOutlastGap(t *testing.T) {
+	s := Bursts(6, 3, 10*time.Millisecond, 5*time.Millisecond)
+	if !s.Valid() {
+		t.Fatalf("overlapping bursts not monotone: %v", s)
+	}
+	want := Schedule{
+		0, 10 * time.Millisecond, 20 * time.Millisecond,
+		25 * time.Millisecond, 35 * time.Millisecond, 45 * time.Millisecond,
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("schedule %v, want %v", s, want)
+		}
+	}
+	if s.Span() != 45*time.Millisecond {
+		t.Fatalf("span %v, want 45ms", s.Span())
 	}
 }
 
@@ -209,23 +248,45 @@ func TestSizesDeterministicProperty(t *testing.T) {
 }
 
 // Property: all generators produce valid (sorted) schedules of the exact
-// requested length.
+// requested length, with Span() equal to the last (maximum) instant, and
+// identical schedules under a fixed seed. Burst gaps are drawn adversarially
+// small so the case the monotonicity fix covers (bursts outlasting the
+// between-burst gap) is exercised throughout.
 func TestGeneratorsValidProperty(t *testing.T) {
-	prop := func(nRaw, kindRaw uint8, seed uint16) bool {
+	prop := func(nRaw, kindRaw, gapRaw uint8, seed uint16) bool {
 		n := int(nRaw % 64)
-		var s Schedule
-		switch kindRaw % 3 {
-		case 0:
-			s = Constant(n, 3*time.Millisecond)
-		case 1:
-			s = Poisson(n, 5*time.Millisecond, rng.New(uint64(seed)))
-		case 2:
-			s = Bursts(n, int(kindRaw%5)+1, time.Millisecond, 50*time.Millisecond)
+		gen := func() Schedule {
+			switch kindRaw % 3 {
+			case 0:
+				return Constant(n, 3*time.Millisecond)
+			case 1:
+				s, err := Poisson(n, 5*time.Millisecond, rng.New(uint64(seed)))
+				if err != nil {
+					return nil
+				}
+				return s
+			default:
+				return Bursts(n, int(kindRaw%5)+1, time.Millisecond,
+					time.Duration(gapRaw%8)*500*time.Microsecond)
+			}
 		}
+		s, again := gen(), gen()
 		if n <= 0 {
 			return s == nil
 		}
-		return len(s) == n && s.Valid() && s[0] == 0
+		if len(s) != n || !s.Valid() || s[0] != 0 {
+			return false
+		}
+		max := s[0]
+		for i := range s {
+			if s[i] > max {
+				max = s[i]
+			}
+			if s[i] != again[i] {
+				return false // same inputs must reproduce the schedule
+			}
+		}
+		return s.Span() == max
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
 		t.Fatal(err)

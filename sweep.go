@@ -1,8 +1,11 @@
 package repro
 
 import (
+	"io"
+
 	"repro/internal/exp"
 	"repro/internal/runner"
+	"repro/internal/workload"
 )
 
 // Sweep-runner identifiers, re-exported so facade users speak one
@@ -33,6 +36,17 @@ type (
 	ScaleReport = runner.ScaleReport
 	// ScaleCell is one aggregated scale cell with wall-clock annotations.
 	ScaleCell = runner.ScaleCell
+	// WorkloadSpec declares a multi-client publish workload (arrival
+	// process, Zipf volume skew, payload sizes, VoD late joiners); set it
+	// on Scenario.Workload or the Sweep.Workloads axis.
+	WorkloadSpec = workload.Spec
+	// WorkloadWindow is one rate-modulation window of a WorkloadSpec.
+	WorkloadWindow = workload.Window
+	// WorkloadTimeline is a materialized publish timeline — the merged
+	// (at, client, bytes) event sequence both protocol kernels drive.
+	WorkloadTimeline = workload.Timeline
+	// WorkloadEvent is one publish instant of a WorkloadTimeline.
+	WorkloadEvent = workload.Event
 )
 
 // DefaultSweep returns the standing benchmark matrix (the one
@@ -60,6 +74,24 @@ func RunScale(o SweepOptions, sweeps ...Sweep) (ScaleReport, error) {
 	return runner.RunScale(o, sweeps...)
 }
 
+// WorkloadSweep returns the standing multi-client workload matrix (three
+// workload shapes × loss × policy × protocol, hash-mode loss) appended
+// after DefaultSweep in BENCH_sweep.json.
+func WorkloadSweep() Sweep { return exp.WorkloadSweep() }
+
+// MultiClientWorkload returns the workload family's many-publishers cell:
+// 8 Poisson publishers, Zipf-1.1 volume skew, lognormal payloads.
+func MultiClientWorkload() *WorkloadSpec { return exp.MultiClientWorkload() }
+
+// BurstyWorkload returns the workload family's diurnal-burst cell: 4
+// burst publishers under hot/cool rate windows.
+func BurstyWorkload() *WorkloadSpec { return exp.BurstyWorkload() }
+
+// VoDPrefixPush returns the workload family's video-on-demand cell: one
+// sender pushes a 1 KiB prefix and a quarter of the members join late,
+// needing the whole prefix recovered.
+func VoDPrefixPush() *WorkloadSpec { return exp.VoDPrefixPush() }
+
 // RunSweep expands the sweep and runs every (cell, trial) pair across a
 // bounded worker pool. Aggregates are byte-identical at any Parallel
 // setting: trials parallelize perfectly because each one is a
@@ -68,11 +100,41 @@ func RunSweep(o SweepOptions, sw Sweep) (SweepReport, error) {
 	return runner.RunSweep(o, sw)
 }
 
+// RunSweeps expands every sweep in order and runs the concatenated cells
+// through one worker pool and into one report — how BENCH_sweep.json
+// appends the workload family after the standing matrix without re-byting
+// a single committed cell.
+func RunSweeps(o SweepOptions, sweeps ...Sweep) (SweepReport, error) {
+	return runner.RunSweeps(o, sweeps...)
+}
+
 // RunScenario runs a single scenario cell once with the given seed and
 // returns its raw metrics (the kernel RunSweep aggregates).
 func RunScenario(sc Scenario, seed uint64) (map[string]float64, error) {
 	return runner.RunScenario(sc, seed)
 }
+
+// RunScenarioTimeline is RunScenario driven by an externally supplied
+// publish timeline — the trace-replay path. Replaying a recorded timeline
+// reproduces the recording run's metrics byte for byte.
+func RunScenarioTimeline(sc Scenario, seed uint64, tl WorkloadTimeline) (map[string]float64, error) {
+	return runner.RunScenarioTimeline(sc, seed, tl)
+}
+
+// ScenarioTimeline materializes the scenario's merged publish timeline —
+// what RunScenario would generate and what RecordTrace persists.
+func ScenarioTimeline(sc Scenario, seed uint64) (WorkloadTimeline, error) {
+	tl, _, err := runner.TimelineFor(sc, seed)
+	return tl, err
+}
+
+// RecordTrace writes a timeline to w in the canonical rrmp-trace/v1 text
+// format.
+func RecordTrace(w io.Writer, tl WorkloadTimeline) error { return workload.Record(w, tl) }
+
+// ReplayTrace parses a canonical rrmp-trace/v1 stream back into a
+// timeline, rejecting malformed or non-canonical input.
+func ReplayTrace(r io.Reader) (WorkloadTimeline, error) { return workload.Replay(r) }
 
 // AblationPoliciesTrials is the multi-trial variant of AblationPolicies:
 // every column becomes a mean ± 95% CI across o.Trials seeds.
