@@ -678,8 +678,8 @@ func printScaleReport(rep repro.ScaleReport) {
 	for _, cell := range rep.Cells {
 		fmt.Printf("%-58s %8d %8d %6d %12s %14s %12.0f %12.2g\n",
 			cell.Name, cell.Members, cell.Regions, cell.Depth,
-			meanCI(cell.Aggregate, "delivery_ratio", "%.3f"),
-			meanCI(cell.Aggregate, "mean_recovery_ms", "%.1f"),
+			meanCI(cell.Aggregate, runner.MKDeliveryRatio, "%.3f"),
+			meanCI(cell.Aggregate, runner.MKMeanRecoveryMs, "%.1f"),
 			cell.WallMsPerTrial, cell.EventsPerSec)
 	}
 }
@@ -692,7 +692,7 @@ func printReport(rep repro.SweepReport) {
 	// purely legacy sweeps keep their historical table width.
 	bytesSwept := false
 	for _, cell := range rep.Cells {
-		if _, ok := cell.Aggregate.Metric("buffer_integral_bytesec"); ok {
+		if _, ok := cell.Aggregate.Metric(runner.MKBufferIntegralByteSec); ok {
 			bytesSwept = true
 			break
 		}
@@ -702,8 +702,8 @@ func printReport(rep repro.SweepReport) {
 			return ""
 		}
 		return fmt.Sprintf(" %18s %10s",
-			meanOnly(cell.Aggregate, "buffer_integral_bytesec", "%.0f"),
-			meanOnly(cell.Aggregate, "pressure_evictions", "%.0f"))
+			meanOnly(cell.Aggregate, runner.MKBufferIntegralByteSec, "%.0f"),
+			meanOnly(cell.Aggregate, runner.MKPressureEvictions, "%.0f"))
 	}
 	byteHeader := ""
 	if bytesSwept {
@@ -714,12 +714,12 @@ func printReport(rep repro.SweepReport) {
 	for _, cell := range rep.Cells {
 		fmt.Printf("%-52s %16s %12s %16s %18s%s %14s\n",
 			cell.Name,
-			meanCI(cell.Aggregate, "delivery_ratio", "%.3f"),
-			meanOnly(cell.Aggregate, "min_reach_frac", "%.2f"),
-			meanCI(cell.Aggregate, "mean_recovery_ms", "%.1f"),
-			meanCI(cell.Aggregate, "buffer_integral_msgsec", "%.1f"),
+			meanCI(cell.Aggregate, runner.MKDeliveryRatio, "%.3f"),
+			meanOnly(cell.Aggregate, runner.MKMinReachFrac, "%.2f"),
+			meanCI(cell.Aggregate, runner.MKMeanRecoveryMs, "%.1f"),
+			meanCI(cell.Aggregate, runner.MKBufferIntegralMsgSec, "%.1f"),
 			byteCols(cell),
-			meanOnly(cell.Aggregate, "packets_sent", "%.0f"),
+			meanOnly(cell.Aggregate, runner.MKPacketsSent, "%.0f"),
 		)
 	}
 }
@@ -853,6 +853,7 @@ func parseWorkloadSpec(s string) (*repro.WorkloadSpec, error) {
 		}
 		var err error
 		switch k {
+		//lint:allow metrickey -- workload spec field name, coincides with the metric key
 		case "clients":
 			spec.Clients, err = strconv.Atoi(v)
 		case "msgs":

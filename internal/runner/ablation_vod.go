@@ -53,11 +53,11 @@ func AblationVoDPrefixPush(seed uint64) ([]VoDResult, error) {
 		}
 		out = append(out, VoDResult{
 			Policy:        policy,
-			Delivery:      m["survivor_delivery_ratio"],
-			Unrecoverable: m["unrecoverable"],
-			LateJoiners:   m["late_joiners"],
-			CatchupMs:     m["mean_recovery_ms"],
-			ByteIntegral:  m["buffer_integral_bytesec"],
+			Delivery:      m[MKSurvivorDeliveryRatio],
+			Unrecoverable: m[MKUnrecoverable],
+			LateJoiners:   m[MKLateJoiners],
+			CatchupMs:     m[MKMeanRecoveryMs],
+			ByteIntegral:  m[MKBufferIntegralByteSec],
 		})
 	}
 	return out, nil

@@ -48,13 +48,13 @@ func AblationPoliciesTrials(o exp.Options) ([]PolicySummary, error) {
 	for r, row := range rowsByTrial[0] {
 		out = append(out, PolicySummary{
 			Policy: row.Policy,
-			DeliveryRatio: exp.Summarize("delivery_ratio",
+			DeliveryRatio: exp.Summarize(MKDeliveryRatio,
 				column(rowsByTrial, r, func(c PolicyComparison) float64 { return c.DeliveryRatio })),
-			BufferIntegral: exp.Summarize("buffer_integral",
+			BufferIntegral: exp.Summarize(MKBufferIntegral,
 				column(rowsByTrial, r, func(c PolicyComparison) float64 { return c.BufferIntegral })),
-			PeakPerMember: exp.Summarize("peak_per_member",
+			PeakPerMember: exp.Summarize(MKPeakPerMember,
 				column(rowsByTrial, r, func(c PolicyComparison) float64 { return float64(c.PeakPerMember) })),
-			MeanBufferingMs: exp.Summarize("mean_buffering_ms",
+			MeanBufferingMs: exp.Summarize(MKMeanBufferingMs,
 				column(rowsByTrial, r, func(c PolicyComparison) float64 { return c.MeanBufferingMs })),
 		})
 	}
@@ -89,9 +89,9 @@ func AblationLambdaTrials(lambdas []float64, runs int, o exp.Options) ([]LambdaS
 	for r, row := range rowsByTrial[0] {
 		out = append(out, LambdaSummary{
 			Lambda: row.Lambda,
-			RemoteRequests: exp.Summarize("remote_requests",
+			RemoteRequests: exp.Summarize(MKRemoteRequests,
 				column(rowsByTrial, r, func(p LambdaPoint) float64 { return p.RemoteRequests })),
-			RecoveryMs: exp.Summarize("recovery_ms",
+			RecoveryMs: exp.Summarize(MKRecoveryMs,
 				column(rowsByTrial, r, func(p LambdaPoint) float64 { return p.RecoveryMs })),
 		})
 	}

@@ -1,3 +1,7 @@
+// This file emits RRMP sweep cells; the metrickey analyzer checks that
+// only keys gated to rrmp (or both) appear here.
+//
+//metrics:scope rrmp
 package runner
 
 import (
@@ -30,6 +34,15 @@ const (
 	// 256-byte default) never touch it, so pre-axis runs replay
 	// byte-identically.
 	PayloadStreamLabel = 0xfeed9a7d
+	// memberStreamBase anchors the per-member counter-hash family: member
+	// node draws from Split(memberStreamBase + node), i.e. labels
+	// 1..NumNodes, which is why the dedicated streams above sit far
+	// higher.
+	memberStreamBase = 1
+	// clusterRootStreamLabel derives the cluster's own root stream (the
+	// member family is split off it, keeping protocol draws independent
+	// of harness draws made directly on the trial seed).
+	clusterRootStreamLabel = 0xaaaa
 )
 
 // PayloadSizesFor draws the n per-publish payload sizes for a scenario's
@@ -261,7 +274,7 @@ func reachMetrics(out map[string]float64, msgs, nNodes, survivors int,
 	if msgs <= 0 {
 		return
 	}
-	out["delivery_ratio"] = float64(delivered) / float64(nNodes*msgs)
+	out[MKDeliveryRatio] = float64(delivered) / float64(nNodes*msgs)
 	minReach := nNodes
 	survMinReach := survivors
 	var survDelivered int64
@@ -284,10 +297,10 @@ func reachMetrics(out map[string]float64, msgs, nNodes, survivors int,
 		}
 		survDelivered += int64(survGot)
 	}
-	out["min_reach_frac"] = float64(minReach) / float64(nNodes)
+	out[MKMinReachFrac] = float64(minReach) / float64(nNodes)
 	if survivors > 0 {
-		out["survivor_delivery_ratio"] = float64(survDelivered) / float64(survivors*len(ids))
-		out["survivor_min_reach_frac"] = float64(survMinReach) / float64(survivors)
+		out[MKSurvivorDeliveryRatio] = float64(survDelivered) / float64(survivors*len(ids))
+		out[MKSurvivorMinReachFrac] = float64(survMinReach) / float64(survivors)
 	}
 }
 
@@ -450,10 +463,10 @@ func runScenario(sc exp.Scenario, seed uint64, timeline workload.Timeline) (map[
 
 	n := topo.NumNodes()
 	out := map[string]float64{
-		"leaves":       float64(*leaves),
-		"packets_sent": float64(c.Net.Stats().TotalSent()),
-		"bytes_sent":   float64(c.Net.Stats().TotalBytes()),
-		"events":       float64(c.Engine.Processed()),
+		MKLeaves:      float64(*leaves),
+		MKPacketsSent: float64(c.Net.Stats().TotalSent()),
+		MKBytesSent:   float64(c.Net.Stats().TotalBytes()),
+		MKEvents:      float64(c.Engine.Processed()),
 	}
 	var delivered, duplicates, localReq, remoteReq, repairs, regional, handoffs int64
 	var searches, searchFailures, suspects, unrecoverable int64
@@ -502,41 +515,41 @@ func runScenario(sc exp.Scenario, seed uint64, timeline workload.Timeline) (map[
 	reachMetrics(out, msgs, n, survivors, delivered, ids,
 		func(node topology.NodeID, id wire.MessageID) bool { return c.Members[node].HasReceived(id) },
 		func(node topology.NodeID) bool { return !c.Members[node].Crashed() && !c.Members[node].Left() })
-	out["duplicates"] = float64(duplicates)
-	out["local_requests"] = float64(localReq)
-	out["remote_requests"] = float64(remoteReq)
-	out["repairs"] = float64(repairs)
-	out["regional_multicasts"] = float64(regional)
-	out["handoffs"] = float64(handoffs)
-	out["searches"] = float64(searches)
-	out["search_failures"] = float64(searchFailures)
-	out["buffer_integral_msgsec"] = bufferIntegral
-	out["peak_buffered"] = float64(peak)
-	out["long_term_entries"] = float64(longTerm)
+	out[MKDuplicates] = float64(duplicates)
+	out[MKLocalRequests] = float64(localReq)
+	out[MKRemoteRequests] = float64(remoteReq)
+	out[MKRepairs] = float64(repairs)
+	out[MKRegionalMulticasts] = float64(regional)
+	out[MKHandoffs] = float64(handoffs)
+	out[MKSearches] = float64(searches)
+	out[MKSearchFailures] = float64(searchFailures)
+	out[MKBufferIntegralMsgSec] = bufferIntegral
+	out[MKPeakBuffered] = float64(peak)
+	out[MKLongTermEntries] = float64(longTerm)
 	// The byte-currency keys appear only in cells that engage the payload
 	// or budget axes (or a size-drawing workload): pre-axis cells must
 	// keep the exact key set the committed golden reports pin byte for
 	// byte. (Their values are computed either way; for a 256-byte fixed
 	// payload they are just the message metrics × 256.)
 	if workloadBytesEngaged(sc) {
-		out["buffer_integral_bytesec"] = byteIntegral
-		out["peak_buffered_bytes"] = float64(peakBytes)
-		out["pressure_evictions"] = float64(pressureEvictions)
-		out["budget_denials"] = float64(budgetDenials)
+		out[MKBufferIntegralByteSec] = byteIntegral
+		out[MKPeakBufferedBytes] = float64(peakBytes)
+		out[MKPressureEvictions] = float64(pressureEvictions)
+		out[MKBudgetDenials] = float64(budgetDenials)
 	}
 	workloadMetrics(out, sc, len(ids), joiners)
-	out["crashes"] = float64(*crashes)
-	out["suspects"] = float64(suspects)
-	out["unrecoverable"] = float64(unrecoverable)
-	out["partition_drops"] = float64(c.Net.Stats().PartitionDrops())
+	out[MKCrashes] = float64(*crashes)
+	out[MKSuspects] = float64(suspects)
+	out[MKUnrecoverable] = float64(unrecoverable)
+	out[MKPartitionDrops] = float64(c.Net.Stats().PartitionDrops())
 	if recN > 0 {
-		out["mean_recovery_ms"] = recSum / recN
+		out[MKMeanRecoveryMs] = recSum / recN
 	}
 	if bufN > 0 {
-		out["mean_buffering_ms"] = bufSum / bufN
+		out[MKMeanBufferingMs] = bufSum / bufN
 	}
 	if rerecN > 0 {
-		out["mean_rerecovery_ms"] = rerecSum / rerecN
+		out[MKMeanReRecoveryMs] = rerecSum / rerecN
 	}
 	return out, nil
 }

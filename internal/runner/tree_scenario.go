@@ -1,3 +1,8 @@
+// This file emits RMTP sweep cells; the metrickey analyzer checks that
+// only keys gated to rmtp (or both) appear here — the PR 5 "RRMP-only
+// keys never leak into rmtp cells" invariant, statically.
+//
+//metrics:scope rmtp
 package runner
 
 import (
@@ -113,10 +118,10 @@ func runTreeScenario(sc exp.Scenario, seed uint64, timeline workload.Timeline) (
 
 	n := topo.NumNodes()
 	out := map[string]float64{
-		"leaves":       float64(*leaves),
-		"packets_sent": float64(c.Net.Stats().TotalSent()),
-		"bytes_sent":   float64(c.Net.Stats().TotalBytes()),
-		"events":       float64(c.Sim.Processed()),
+		MKLeaves:      float64(*leaves),
+		MKPacketsSent: float64(c.Net.Stats().TotalSent()),
+		MKBytesSent:   float64(c.Net.Stats().TotalBytes()),
+		MKEvents:      float64(c.Sim.Processed()),
 	}
 	var delivered, duplicates, repairs int64
 	var nakSent, nakRecv, ackSent, ackRecv, giveUps, unrecoverable int64
@@ -163,33 +168,33 @@ func runTreeScenario(sc exp.Scenario, seed uint64, timeline workload.Timeline) (
 	reachMetrics(out, msgs, n, survivors, delivered, ids,
 		func(node topology.NodeID, id wire.MessageID) bool { return c.Nodes[node].HasReceived(id.Seq) },
 		func(node topology.NodeID) bool { return !c.Nodes[node].Crashed() && !c.Nodes[node].Left() })
-	out["duplicates"] = float64(duplicates)
-	out["repairs"] = float64(repairs)
-	out["nak_sent"] = float64(nakSent)
-	out["nak_recv"] = float64(nakRecv)
-	out["ack_sent"] = float64(ackSent)
-	out["ack_recv"] = float64(ackRecv)
-	out["ack_trim"] = float64(ackTrims)
-	out["nak_giveups"] = float64(giveUps)
-	out["buffer_integral_msgsec"] = bufferIntegral
-	out["peak_buffered"] = float64(peak)
+	out[MKDuplicates] = float64(duplicates)
+	out[MKRepairs] = float64(repairs)
+	out[MKNakSent] = float64(nakSent)
+	out[MKNakRecv] = float64(nakRecv)
+	out[MKAckSent] = float64(ackSent)
+	out[MKAckRecv] = float64(ackRecv)
+	out[MKAckTrim] = float64(ackTrims)
+	out[MKNakGiveups] = float64(giveUps)
+	out[MKBufferIntegralMsgSec] = bufferIntegral
+	out[MKPeakBuffered] = float64(peak)
 	// Byte-currency keys follow the RRMP rule: only cells that engage the
 	// payload or budget axes (or a size-drawing workload) carry them.
 	if workloadBytesEngaged(sc) {
-		out["buffer_integral_bytesec"] = byteIntegral
-		out["peak_buffered_bytes"] = float64(peakBytes)
-		out["pressure_evictions"] = float64(pressureEvictions)
-		out["budget_denials"] = float64(budgetDenials)
+		out[MKBufferIntegralByteSec] = byteIntegral
+		out[MKPeakBufferedBytes] = float64(peakBytes)
+		out[MKPressureEvictions] = float64(pressureEvictions)
+		out[MKBudgetDenials] = float64(budgetDenials)
 	}
 	workloadMetrics(out, sc, len(ids), joiners)
-	out["crashes"] = float64(*crashes)
-	out["unrecoverable"] = float64(unrecoverable)
-	out["partition_drops"] = float64(c.Net.Stats().PartitionDrops())
+	out[MKCrashes] = float64(*crashes)
+	out[MKUnrecoverable] = float64(unrecoverable)
+	out[MKPartitionDrops] = float64(c.Net.Stats().PartitionDrops())
 	if recN > 0 {
-		out["mean_recovery_ms"] = recSum / recN
+		out[MKMeanRecoveryMs] = recSum / recN
 	}
 	if bufN > 0 {
-		out["mean_buffering_ms"] = bufSum / bufN
+		out[MKMeanBufferingMs] = bufSum / bufN
 	}
 	return out, nil
 }

@@ -141,10 +141,10 @@ func workloadMetrics(out map[string]float64, sc exp.Scenario, published int, joi
 	if sc.Workload == nil {
 		return
 	}
-	out["clients"] = float64(sc.Workload.Clients)
-	out["publishes"] = float64(published)
+	out[MKClients] = float64(sc.Workload.Clients)
+	out[MKPublishes] = float64(published)
 	if sc.Workload.LateJoinFrac > 0 {
-		out["late_joiners"] = float64(len(joiners))
+		out[MKLateJoiners] = float64(len(joiners))
 	}
 }
 
