@@ -382,8 +382,14 @@ func churnRun(graceful bool, seed uint64) (ChurnResult, error) {
 		}
 	}
 
-	// All bufferers depart at t = 0.
-	for node := range holderSet {
+	// All bufferers depart at t = 0, in ascending node order: events at
+	// the same instant run in insertion order, so iterating the holder
+	// set directly would leak map order into the handoff sequence (the
+	// PR 1 bug class; caught by the maporder analyzer).
+	for _, node := range region[:n-1] {
+		if !holderSet[node] {
+			continue
+		}
 		node := node
 		if graceful {
 			c.Sim.At(0, func() { c.Members[node].Leave() })
