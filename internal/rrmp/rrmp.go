@@ -26,6 +26,16 @@ import (
 	"repro/internal/wire"
 )
 
+// Each member derives its components' private streams off its own source
+// with fixed labels (ASCII mnemonics), so buffer elections and failure
+// detection never perturb the member's protocol draws.
+const (
+	// bufferStreamLabel: "bufferng" — the buffer's election stream.
+	bufferStreamLabel = 0x6275666665726e67
+	// gossipFDStreamLabel: "gossipfd" — the failure detector's stream.
+	gossipFDStreamLabel = 0x676f737369706664
+)
+
 // Transport lets a member send PDUs. Implementations must deliver
 // asynchronously (never call back into the member synchronously from Send),
 // which both the simulator and the UDP binding guarantee.
@@ -236,7 +246,7 @@ func NewMember(cfg Config) *Member {
 		Index:       cfg.BufferIndex,
 		ByteBudget:  m.params.ByteBudget,
 		CopyPayload: m.params.CopyOnStore,
-		Rng:         cfg.Rng.Split(0x6275666665726e67), // "bufferng": buffer's own stream
+		Rng:         cfg.Rng.Split(bufferStreamLabel),
 		OnEvict: func(e *core.Entry, r core.EvictReason) {
 			if r != core.EvictHandoff {
 				m.metrics.BufferingTime.AddDuration(cfg.Sched.Now() - e.StoredAt)
@@ -251,7 +261,7 @@ func NewMember(cfg Config) *Member {
 		m.fd = gossipfd.New(gossipfd.Config{
 			View:           cfg.View,
 			Sched:          cfg.Sched,
-			Rng:            cfg.Rng.Split(0x676f737369706664), // "gossipfd": detector's own stream
+			Rng:            cfg.Rng.Split(gossipFDStreamLabel),
 			Send:           func(to topology.NodeID, msg wire.Message) { m.cfg.Transport.Send(to, msg) },
 			GossipInterval: m.params.FDGossipInterval,
 			FailTimeout:    m.params.FDFailTimeout,

@@ -555,7 +555,7 @@ func AblationStabilityTraffic(seed uint64) ([]OverheadResult, error) {
 					View:        view,
 					Source:      topo.Sender(),
 					Sched:       c.Sim,
-					Rng:         root.Split(uint64(node) + 1),
+					Rng:         root.Split(memberStreamBase + uint64(node)),
 					Send:        func(to topology.NodeID, msg wire.Message) { c.Net.Unicast(node, to, msg) },
 					LocalPrefix: func() uint64 { return m.Prefix(topo.Sender()) },
 					OnStable: func(seq uint64) {

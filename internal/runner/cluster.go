@@ -137,7 +137,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Net:     net,
 		Topo:    cfg.Topo,
 		Members: make([]*rrmp.Member, cfg.Topo.NumNodes()),
-		Root:    root.Split(0xaaaa),
+		Root:    root.Split(clusterRootStreamLabel),
 	}
 	// Node IDs are assigned region by region in ascending order (see
 	// topology.build), so the region-ordered member list is exactly the
@@ -173,7 +173,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			sched = sharded.Clock(nodeShard[n])
 		}
 		transports[n] = rrmp.NetTransport{Net: net, Self: n, Group: c.All}
-		root.SplitInto(uint64(n)+1, &sources[n])
+		root.SplitInto(memberStreamBase+uint64(n), &sources[n])
 		m := rrmp.NewMember(rrmp.Config{
 			View:        view,
 			Transport:   &transports[n],

@@ -13,6 +13,11 @@ import (
 	"repro/internal/wire"
 )
 
+// figureHolderStreamLabel derives the figure harness's holder-pick stream
+// (Figure 6's k initial long-term holders), independent of the member
+// streams so regenerating figures never perturbs protocol draws.
+const figureHolderStreamLabel = 0xf16
+
 // Series is one named curve: paired X/Y points in figure units.
 type Series struct {
 	Name string
@@ -142,7 +147,7 @@ func fig6Run(cfg Fig6Config, k int, seed uint64, hist *stats.Histogram) error {
 
 	holders := make(map[topology.NodeID]bool, k)
 	// Choose the k initial holders with the harness stream.
-	pick := rng.New(seed).Split(0xf16)
+	pick := rng.New(seed).Split(figureHolderStreamLabel)
 	perm := pick.Perm(cfg.RegionSize)
 	for i := 0; i < k; i++ {
 		holders[topology.NodeID(perm[i])] = true

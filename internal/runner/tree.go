@@ -115,7 +115,7 @@ func NewTreeCluster(cfg TreeClusterConfig) (*TreeCluster, error) {
 				ChildServers:  childServers[rid],
 				Send:          func(to topology.NodeID, msg wire.Message) { net.Unicast(node, to, msg) },
 				Sched:         s,
-				Rng:           root.Split(uint64(node) + 1),
+				Rng:           root.Split(memberStreamBase + uint64(node)),
 				Params:        cfg.Params,
 			})
 			c.Nodes[node] = n
