@@ -74,6 +74,7 @@ func (x *mapIndex) each(fn func(e *Entry)) {
 func (x *mapIndex) sorted(dst []*Entry) []*Entry {
 	start := len(dst)
 	for _, e := range x.entries {
+		//lint:allow maporder -- the appended tail aliases dst[start:] as out and is sorted immediately below
 		dst = append(dst, e)
 	}
 	out := dst[start:]
