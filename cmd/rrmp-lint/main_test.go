@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestListAnalyzers pins the roster the CI summary counts with -list.
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr:\n%s", code, errb.String())
+	}
+	got := strings.Fields(out.String())
+	want := []string{"simtime", "maporder", "streamlabel", "metrickey"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("-list = %v, want %v", got, want)
+	}
+}
+
+// TestVersionHandshake checks the -V=full go vet handshake: one line,
+// `name version ...`, exit 0.
+func TestVersionHandshake(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-V=full) = %d, stderr:\n%s", code, errb.String())
+	}
+	line := strings.TrimSpace(out.String())
+	if !strings.HasPrefix(line, "rrmp-lint version ") || strings.ContainsRune(line, '\n') {
+		t.Errorf("-V=full printed %q, want one `rrmp-lint version ...` line", line)
+	}
+}
+
+// TestStandaloneFindsSeededViolation runs the standalone checker over a
+// fixture module with one wall-clock call in a sim package: exit 1 and a
+// simtime diagnostic.
+func TestStandaloneFindsSeededViolation(t *testing.T) {
+	t.Chdir("testdata/smoke")
+	var out, errb bytes.Buffer
+	code := run([]string{"./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run(./...) on smoke fixture = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[simtime]") || !strings.Contains(out.String(), "time.Now") {
+		t.Errorf("diagnostics missing the seeded simtime finding:\n%s", out.String())
+	}
+}
+
+// TestStandaloneCleanModule: the same entry point exits 0 with no output
+// on a module without findings.
+func TestStandaloneCleanModule(t *testing.T) {
+	t.Chdir("testdata/clean")
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("run(./...) on clean fixture = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean fixture produced output:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput: -json emits a machine-readable diagnostic array.
+func TestJSONOutput(t *testing.T) {
+	t.Chdir("testdata/smoke")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("run(-json ./...) = %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var diags []struct {
+		Analyzer string
+		Message  string
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "simtime" {
+		t.Errorf("-json diagnostics = %+v, want one simtime finding", diags)
+	}
+}
+
+// TestVetToolProtocol builds the binary and drives it through
+// `go vet -vettool` — the unitchecker-protocol integration. The clean
+// module must pass (proving the protocol round-trips: -V handshake, cfg
+// parsing, export-data type-checking, vetx output) and the smoke module
+// must fail with a simtime finding.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "rrmp-lint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	vet := func(dir string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+	if out, err := vet("testdata/clean"); err != nil {
+		t.Fatalf("go vet -vettool on clean fixture failed: %v\n%s", err, out)
+	}
+	out, err := vet("testdata/smoke")
+	if err == nil {
+		t.Fatalf("go vet -vettool on smoke fixture passed, want a simtime failure\n%s", out)
+	}
+	if !strings.Contains(out, "time.Now") {
+		t.Errorf("go vet output missing the seeded finding:\n%s", out)
+	}
+}

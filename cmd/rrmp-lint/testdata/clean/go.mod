@@ -1,0 +1,3 @@
+module cleanfix
+
+go 1.24

@@ -1,0 +1,9 @@
+// Package util is the clean control for the cmd-level smoke tests: it
+// sits outside the simulation boundary, so its wall-clock read is legal
+// and the checker must exit 0.
+package util
+
+import "time"
+
+// Stamp reads the wall clock, legally.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,10 @@
+// Package core seeds exactly one determinism violation for the cmd-level
+// smoke tests: a wall-clock read inside the simulation boundary.
+package core
+
+import "time"
+
+// Stamp reads the wall clock where a clock.Scheduler is required.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,3 @@
+module smokefix
+
+go 1.24

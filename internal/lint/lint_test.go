@@ -1,0 +1,69 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each fixture is a self-contained module under testdata whose packages
+// reuse the sim-set import-path tails (core, rrmp, workload, runner, ...),
+// so the analyzers run over them exactly as they run over the repository.
+// Every expected finding — and every deliberately clean or allow-annotated
+// line — is pinned by linttest's want matching.
+
+func TestSimTimeFixture(t *testing.T) {
+	linttest.Run(t, "testdata/simtime", []*lint.Analyzer{lint.SimTime})
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	linttest.Run(t, "testdata/maporder", []*lint.Analyzer{lint.MapOrder})
+}
+
+func TestStreamLabelFixture(t *testing.T) {
+	linttest.Run(t, "testdata/streamlabel", []*lint.Analyzer{lint.StreamLabel})
+}
+
+func TestMetricKeyFixture(t *testing.T) {
+	linttest.Run(t, "testdata/metrickey", []*lint.Analyzer{lint.MetricKey})
+}
+
+// TestAnalyzerRoster pins the suite: CI's analyzer count and the vet-tool
+// registration both key off All().
+func TestAnalyzerRoster(t *testing.T) {
+	want := []string{"simtime", "maporder", "streamlabel", "metrickey"}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("lint.All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("lint.All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}
+
+// TestRepositoryClean runs the full suite over the repository itself: the
+// tree must stay lint-clean, with every sanctioned exception carried by an
+// explicit //lint:allow annotation. (CI runs the same check standalone via
+// cmd/rrmp-lint.)
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repository lint load is not a -short test")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repository finding: %s", d)
+	}
+}

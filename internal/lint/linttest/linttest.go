@@ -1,0 +1,150 @@
+// Package linttest runs lint analyzers over want-annotated fixture
+// modules, in the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a self-contained Go module under testdata. Every line that
+// should produce a finding carries a trailing expectation comment:
+//
+//	time.Sleep(d) // want "wall-clock time.Sleep"
+//
+// The string is a regular expression matched against the diagnostic
+// message; several per line mean several findings on that line. The run
+// fails on any unmatched expectation and on any unexpected diagnostic —
+// so clean lines (including lines suppressed by //lint:allow) double as
+// false-positive and suppression tests.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantMarker introduces an expectation comment.
+const wantMarker = "// want "
+
+// expectation is one anticipated finding.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture module rooted at dir, runs analyzers over all its
+// packages, and asserts the diagnostics exactly match the // want
+// annotations.
+func Run(t *testing.T, dir string, analyzers []*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			filename := pkg.Fset.Position(file.Pos()).Filename
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					exps, err := parseWants(c)
+					if err != nil {
+						t.Fatalf("%s:%d: %v", filename, pkg.Fset.Position(c.Pos()).Line, err)
+					}
+					for _, re := range exps {
+						wants = append(wants, &expectation{
+							file:    filename,
+							line:    pkg.Fset.Position(c.Pos()).Line,
+							pattern: re,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering d and reports
+// whether one existed.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) || w.pattern.MatchString("["+d.Analyzer+"] "+d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the expectation regexps from one comment, or nil if
+// it is not a want comment.
+func parseWants(c *ast.Comment) ([]*regexp.Regexp, error) {
+	idx := strings.Index(c.Text, wantMarker)
+	if idx < 0 {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(c.Text[idx+len(wantMarker):])
+	var out []*regexp.Regexp
+	for rest != "" {
+		if rest[0] != '"' {
+			return nil, fmt.Errorf("malformed want comment near %q (expected quoted regexp)", rest)
+		}
+		lit, remainder, err := cutQuoted(rest)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", lit, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(remainder)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no expectations")
+	}
+	return out, nil
+}
+
+// cutQuoted splits a leading Go-quoted string off rest.
+func cutQuoted(rest string) (string, string, error) {
+	for i := 1; i < len(rest); i++ {
+		if rest[i] == '\\' {
+			i++
+			continue
+		}
+		if rest[i] == '"' {
+			lit, err := strconv.Unquote(rest[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad quoted want %q: %v", rest[:i+1], err)
+			}
+			return lit, rest[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated want string in %q", rest)
+}

@@ -1,0 +1,3 @@
+module maporderfix
+
+go 1.24

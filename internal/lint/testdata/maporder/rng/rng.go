@@ -1,0 +1,25 @@
+// Package rng models the repository's deterministic stream type just
+// closely enough for the analyzers: the package tail is "rng" and the
+// draw/split methods hang off a type named Source.
+package rng
+
+// Source is a stub deterministic PRNG stream.
+type Source struct{ state uint64 }
+
+// New returns a root stream.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Split derives a child stream from a label.
+func (s *Source) Split(label uint64) *Source { return &Source{state: s.state ^ label} }
+
+// SplitInto derives a child stream in place.
+func (s *Source) SplitInto(label uint64, dst *Source) { dst.state = s.state ^ label }
+
+// Uint64 draws the next value.
+func (s *Source) Uint64() uint64 {
+	s.state = s.state*6364136223846793005 + 1
+	return s.state
+}
+
+// Intn draws an int in [0, n).
+func (s *Source) Intn(n int) int { return int(s.Uint64() % uint64(n)) }

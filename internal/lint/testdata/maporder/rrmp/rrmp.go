@@ -1,0 +1,88 @@
+// Package rrmp is the maporder fixture: order-sensitive bodies inside
+// range-over-map loops, plus the sanctioned collect-then-sort pattern and
+// the deliberate-exception annotation.
+package rrmp
+
+import (
+	"sort"
+
+	"maporderfix/rng"
+	"maporderfix/sim"
+)
+
+// DrawPerMember draws once per member in map order: the stream consumes
+// values in randomized order, so the run depends on the hash seed.
+func DrawPerMember(src *rng.Source, members map[int]bool) int {
+	total := 0
+	for id := range members {
+		total += src.Intn(8) // want "rng draw \\(Intn\\) inside range over map"
+		_ = id
+	}
+	return total
+}
+
+// SplitInLoop is clean even in map order: Split derives a child from the
+// label alone, so call order cannot matter.
+func SplitInLoop(src *rng.Source, members map[int]bool) {
+	for id := range members {
+		_ = src.Split(uint64(id))
+	}
+}
+
+// ScheduleAll posts one event per member in map order: same-timestamp ties
+// run in insertion order, so the schedule leaks the hash seed.
+func ScheduleAll(eng *sim.Engine, members map[int]bool) {
+	for id := range members {
+		id := id
+		eng.At(0, func() { _ = id }) // want "event posting \\(sim\\.At\\) inside range over map"
+	}
+}
+
+// CollectUnsorted appends map keys to an escaping slice without sorting.
+func CollectUnsorted(members map[int]bool) []int {
+	var ids []int
+	for id := range members {
+		ids = append(ids, id) // want "append to ids"
+	}
+	return ids
+}
+
+// CollectSorted is the sanctioned fix, recognized automatically: collect,
+// then sort in the same block.
+func CollectSorted(members map[int]bool) []int {
+	ids := make([]int, 0, len(members))
+	for id := range members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// LocalAppend is clean: the slice is declared inside the loop body and
+// dies with the iteration, so its order cannot escape.
+func LocalAppend(members map[int][]int) int {
+	n := 0
+	for _, vs := range members {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Allowed is deliberately order-insensitive and says so.
+func Allowed(eng *sim.Engine, members map[int]bool) {
+	for id := range members {
+		id := id
+		//lint:allow maporder -- events land at distinct times keyed by id, so enqueue order cannot matter
+		eng.At(int64(id), func() { _ = id })
+	}
+}
+
+// SliceRange is clean: only map iteration order is randomized.
+func SliceRange(eng *sim.Engine, members []int) {
+	for _, id := range members {
+		id := id
+		eng.At(0, func() { _ = id })
+	}
+}

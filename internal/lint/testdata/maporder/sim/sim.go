@@ -1,0 +1,12 @@
+// Package sim models the event-loop surface: the package tail is "sim",
+// so its At/Post methods count as event posting for the maporder analyzer.
+package sim
+
+// Engine is a stub event loop.
+type Engine struct{ queue []func() }
+
+// At schedules fn at time t.
+func (e *Engine) At(t int64, fn func()) { _ = t; e.queue = append(e.queue, fn) }
+
+// Post enqueues fn immediately.
+func (e *Engine) Post(fn func()) { e.queue = append(e.queue, fn) }

@@ -1,0 +1,3 @@
+module metrickeyfix
+
+go 1.24

@@ -1,0 +1,11 @@
+// Package report imports the registry package: the literal rule follows
+// the registered keys across package boundaries.
+package report
+
+import "metrickeyfix/runner"
+
+// Line reads cells by key.
+func Line(cells map[string]float64) float64 {
+	v := cells["nak_sent"] // want "use the registry constant MKNakSent"
+	return v + cells[runner.MKDeliveryRatio]
+}

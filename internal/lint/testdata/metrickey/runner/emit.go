@@ -1,0 +1,14 @@
+package runner
+
+// Emit exercises the literal rule: registered keys must be spelled as MK
+// constants; strings the registry does not know are not the analyzer's
+// business.
+func Emit() map[string]float64 {
+	out := map[string]float64{}
+	out["delivery_ratio"] = 1 // want "use the registry constant MKDeliveryRatio"
+	out[MKNakSent] = 2
+	//lint:allow metrickey -- documentation example keeps the raw spelling
+	out["searches"] = 3
+	out["events_total"] = 4
+	return out
+}

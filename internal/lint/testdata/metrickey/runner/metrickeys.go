@@ -1,0 +1,26 @@
+// Package runner models the metric-key registry just closely enough for
+// the metrickey analyzer: MK constants, the metricKeyRegistry table, and
+// protocol-scoped emitter files. This file is the one place allowed to
+// spell registered keys as string literals.
+package runner
+
+// Registered metric keys. MKOrphan deliberately has no registry entry.
+const (
+	MKDeliveryRatio = "delivery_ratio"
+	MKNakSent       = "nak_sent"
+	MKSearches      = "searches"
+	MKOrphan        = "orphan_metric" // want "metric key constant MKOrphan .* has no metricKeyRegistry entry"
+)
+
+// MetricKeyInfo mirrors the real registry's row type.
+type MetricKeyInfo struct {
+	Key      string
+	Protocol string
+	Axis     string
+}
+
+var metricKeyRegistry = []MetricKeyInfo{
+	{Key: MKDeliveryRatio, Protocol: "both", Axis: "core"},
+	{Key: MKNakSent, Protocol: "rmtp", Axis: "core"},
+	{Key: MKSearches, Protocol: "rrmp", Axis: "core"},
+}

@@ -1,0 +1,12 @@
+// This file models an RMTP emitter; the scope directive pins it to keys
+// gated rmtp or both.
+//
+//metrics:scope rmtp
+package runner
+
+// EmitRMTP may mention rmtp- and both-gated keys, but not RRMP-only ones.
+func EmitRMTP(out map[string]float64) {
+	out[MKNakSent] = 1
+	out[MKDeliveryRatio] = 1
+	out[MKSearches] = 1 // want "metric key MKSearches is gated to protocol \"rrmp\""
+}

@@ -1,0 +1,50 @@
+// Package core is the simtime fixture: wall-clock and global-rand uses
+// inside a simulation package (import-path tail "core"), plus the
+// sanctioned escape hatches.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tick exercises the forbidden wall-clock entry points.
+func Tick() time.Duration {
+	start := time.Now()            // want "wall-clock time\\.Now"
+	time.Sleep(time.Millisecond)   // want "wall-clock time\\.Sleep"
+	<-time.After(time.Millisecond) // want "wall-clock time\\.After"
+	return time.Since(start)       // want "wall-clock time\\.Since"
+}
+
+// Draw exercises the process-global math/rand source.
+func Draw() int {
+	n := rand.Intn(8)   // want "global math/rand source \\(rand\\.Intn\\)"
+	f := rand.Float64() // want "global math/rand source \\(rand\\.Float64\\)"
+	return n + int(f)
+}
+
+// Seeded is clean: an explicitly seeded source is deterministic, only the
+// process-global draws are banned (the constructors are exempt).
+func Seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(8)
+}
+
+// Durations is clean: time's value helpers carry no clock.
+func Durations() time.Duration {
+	return 5 * time.Millisecond
+}
+
+// Timed shows both allow forms: trailing comment and line-above.
+func Timed() time.Duration {
+	start := time.Now() //lint:allow simtime -- wall-clock trial timing is the measurement itself
+	//lint:allow simtime -- paired with the start timestamp above
+	return time.Since(start)
+}
+
+// Malformed: an allow annotation without a ` -- reason` suppresses nothing
+// and is itself reported by the synthetic "allow" analyzer.
+func Malformed() {
+	//lint:allow simtime // want "malformed //lint:allow annotation"
+	time.Sleep(time.Millisecond) // want "wall-clock time\\.Sleep"
+}

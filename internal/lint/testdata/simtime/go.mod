@@ -1,0 +1,3 @@
+module simtimefix
+
+go 1.24

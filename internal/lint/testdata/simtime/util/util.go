@@ -1,0 +1,8 @@
+// Package util sits outside the simulation boundary (import-path tail
+// "util" is not in the sim set): wall-clock use here is legal.
+package util
+
+import "time"
+
+// Stamp reads the wall clock, legally.
+func Stamp() time.Time { return time.Now() }

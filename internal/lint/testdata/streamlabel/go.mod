@@ -1,0 +1,3 @@
+module streamlabelfix
+
+go 1.24

@@ -1,0 +1,41 @@
+// Package workload is the streamlabel fixture: stream-derivation sites
+// with and without declared label constants.
+package workload
+
+import "streamlabelfix/rng"
+
+// Declared labels follow the repository convention: constants suffixed
+// StreamLabel (fixed stream), StreamBase (counter family) or SubStream
+// (per-entity child).
+const (
+	lossStreamLabel  = 0x10c5
+	memberStreamBase = 1
+	repairSubStream  = 0x7e9a
+)
+
+// Derive exercises the legal forms: a bare label constant, a counter
+// offset anchored by a named base, and SplitInto with a label.
+func Derive(root *rng.Source, n int) []*rng.Source {
+	out := []*rng.Source{root.Split(lossStreamLabel)}
+	for i := 0; i < n; i++ {
+		out = append(out, root.Split(memberStreamBase+uint64(i)))
+	}
+	var scratch rng.Source
+	root.SplitInto(repairSubStream, &scratch)
+	return out
+}
+
+// AdHoc exercises the banned forms: raw literals and seed arithmetic with
+// no named label anchoring them.
+func AdHoc(root *rng.Source, seed uint64) *rng.Source {
+	a := root.Split(42)      // want "ad-hoc stream derivation: Split label"
+	b := a.Split(seed*2 + 1) // want "ad-hoc stream derivation: Split label"
+	var dst rng.Source
+	b.SplitInto(7, &dst) // want "ad-hoc stream derivation: SplitInto label"
+	return &dst
+}
+
+// Legacy keeps a raw seed on purpose and says why.
+func Legacy(root *rng.Source) *rng.Source {
+	return root.Split(99) //lint:allow streamlabel -- frozen legacy seed, kept for recorded-trace compatibility
+}
