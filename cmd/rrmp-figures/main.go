@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rrmp-figures [-fig 3|4|6|7|8|9|A1|A2|A3|A4|A5|A6|A7|all] [-runs N] [-seed S]
+//	rrmp-figures [-fig 3|4|6|7|8|9|A1|A2|A3|A4|A5|A6|A7|A8|all] [-runs N] [-seed S]
 //	             [-trials N] [-parallel P]
 //
 // Run counts trade precision for time; the defaults regenerate each figure
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,6,7,8,9,A1..A7 or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,6,7,8,9,A1..A8 or all")
 	runs := flag.Int("runs", 0, "runs to average per data point (0 = per-figure default)")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	trials := flag.Int("trials", 1, "independently seeded trials for A1/A5 (columns become mean±95% CI)")
@@ -227,6 +227,21 @@ func run(w io.Writer, fig string, runs int, seed uint64, trials, parallel int) e
 				r.Policy, 100*r.Delivery, r.Unrecoverable, r.LateJoiners, r.CatchupMs, r.ByteIntegral)
 		}
 		fmt.Fprintln(w, "(joiners arrive 1.5-2.5s in; only the two-phase long-term set still holds the prefix)")
+	}
+	if want("A8") {
+		any = true
+		header(w, "Ablation A8 — bursty demand: adaptive vs two-phase vs fixed (fitness-ranked)")
+		rows, err := repro.AblationAdaptiveDemand(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %10s %10s %14s %13s %14s\n",
+			"policy", "fitness", "delivery", "unrecoverable", "recovery(ms)", "buffer(B·s)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-12s %10.3f %9.2f%% %14.0f %13.1f %14.0f\n",
+				r.Policy, r.Fitness, 100*r.Delivery, r.Unrecoverable, r.RecoveryMs, r.ByteIntegral)
+		}
+		fmt.Fprintln(w, "(rows ranked by the default-weight fitness score; costs normalized within the table)")
 	}
 	if !any {
 		return fmt.Errorf("unknown figure %q", fig)

@@ -87,6 +87,42 @@ func TestA7VoDContrast(t *testing.T) {
 	}
 }
 
+// TestA8AdaptiveDemand renders the A8 table and pins its shape: one row
+// per policy, ranked by the default-weight fitness score, scores strictly
+// non-increasing and full delivery preserved by every policy in the
+// bursty cell.
+func TestA8AdaptiveDemand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "A8", 0, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"two-phase", "fixed", "adaptive", "fitness"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("A8 table lacks %q:\n%s", want, buf.String())
+		}
+	}
+	rows, err := repro.AblationAdaptiveDemand(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("A8 has %d rows, want 3", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Fitness > rows[i-1].Fitness {
+			t.Fatalf("rows not ranked by fitness: %v after %v", rows[i], rows[i-1])
+		}
+	}
+	for _, r := range rows {
+		if r.Delivery <= 0 {
+			t.Fatalf("policy %s delivered nothing", r.Policy)
+		}
+		if r.ByteIntegral <= 0 {
+			t.Fatalf("policy %s reports no byte cost; the fitness byte axis is dead", r.Policy)
+		}
+	}
+}
+
 // TestUnknownFigureRejected covers the error path.
 func TestUnknownFigureRejected(t *testing.T) {
 	var buf bytes.Buffer

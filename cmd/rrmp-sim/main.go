@@ -54,6 +54,18 @@
 // Single-run traces stream to stderr with -trace and/or to a file with
 // -trace-out (both flags reject sweep/multi-trial modes loudly).
 //
+// Policies come from the central registry: -policy (and -sweep-policies)
+// accept any registered kind or alias, optionally parameterized, and
+// -list-policies prints the roster with parameter defaults. The default
+// -sweep also appends the 6-cell adaptive-policy family after the
+// workload family, and -fitness-weights ranks a sweep's cells by the
+// weighted multi-objective fitness score (delivery up; byte-seconds,
+// unrecoverables and recovery latency down) without touching the report:
+//
+//	rrmp-sim -list-policies
+//	rrmp-sim -regions 30,30 -loss 0.2 -policy adaptive:tmin=20ms,tmax=200ms,target=2
+//	rrmp-sim -sweep -trials 8 -fitness-weights delivery=1,bytesec=0.5
+//
 // The report is a pure function of (matrix, -trials, -seed): the same
 // seeds produce byte-identical aggregates at any -parallel width.
 package main
@@ -70,6 +82,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/policy"
 	"repro/internal/rng"
 	"repro/internal/runner"
 	"repro/internal/trace"
@@ -96,7 +109,7 @@ func main() {
 		payloadModel = flag.String("payload-model", "", "payload size model: fixed|uniform|lognormal (sizes drawn around -payload)")
 		budget       = flag.Int("budget", 0, "per-member buffer byte budget (0 = unlimited)")
 		protocol     = flag.String("protocol", "rrmp", "recovery protocol: rrmp (the paper's) or rmtp (tree repair-server baseline)")
-		policy       = flag.String("policy", "two-phase", "buffering policy: two-phase|fixed|all|hash (rrmp only; rmtp cells always run the repair-server discipline)")
+		policy       = flag.String("policy", "two-phase", "buffering policy spec, e.g. two-phase, fixed:hold=200ms or adaptive:tmin=20ms,tmax=200ms,target=2 (rrmp only; rmtp cells always run the repair-server discipline; see -list-policies)")
 		hold         = flag.Duration("hold", 500*time.Millisecond, "retention for -policy fixed")
 		seed         = flag.Uint64("seed", 1, "root random seed")
 		horizon      = flag.Duration("horizon", 5*time.Second, "virtual run time")
@@ -125,8 +138,16 @@ func main() {
 		swPayloads   = flag.String("sweep-payloads", "", "payload sizes to sweep, e.g. '0,1024' (default 0,1024; 0 = historic 256)")
 		swBudgets    = flag.String("sweep-budgets", "", "buffer byte budgets to sweep, e.g. '0,8192' (default 0,8192; 0 = unlimited)")
 		swProtocols  = flag.String("sweep-protocols", "", "protocols to sweep, e.g. 'rrmp,rmtp' (default rrmp,rmtp; rmtp families append after all rrmp cells)")
+
+		listPolicies   = flag.Bool("list-policies", false, "print the policy registry roster (kinds, aliases, parameters) and exit")
+		fitnessWeights = flag.String("fitness-weights", "", "print a fitness-ranked cell table after a sweep: 'key=val,...' weights with keys delivery,bytesec,unrec,recovery ('default' = standing weights; never changes the report bytes)")
 	)
 	flag.Parse()
+
+	if *listPolicies {
+		printPolicyRoster(os.Stdout)
+		return
+	}
 
 	// The committed record tracks the *default* matrix, so it is only the
 	// default target when no flag that changes cell semantics was given;
@@ -183,6 +204,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rrmp-sim: -workload does not apply to -sweep-scale")
 		os.Exit(2)
 	}
+	if *fitnessWeights != "" && (*sweepScale || !(*sweep || *trials > 1)) {
+		fmt.Fprintln(os.Stderr, "rrmp-sim: -fitness-weights scores sweep/multi-trial reports (use with -sweep or -trials > 1)")
+		os.Exit(2)
+	}
 	if !outSet && *sweep && !*sweepScale && !matrixCustomized {
 		*outPath = "BENCH_sweep.json"
 	}
@@ -216,6 +241,7 @@ func main() {
 			shards: *shards, json: *jsonOut, outPath: *outPath,
 			workload:       *workloadFlag,
 			workloadFamily: *sweep && !matrixCustomized,
+			fitnessWeights: *fitnessWeights,
 			swRegions:      *swRegions, swLosses: *swLosses, swChurns: *swChurns,
 			swCrashes: *swCrashes, swPartitions: *swPartitions, swPolicies: *swPolicies,
 			swTrees: *swTrees, swPayloads: *swPayloads, swBudgets: *swBudgets,
@@ -244,6 +270,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrmp-sim:", err)
 		os.Exit(1)
+	}
+}
+
+// printPolicyRoster prints the policy registry in listing order: one line
+// per kind with its aliases and summary, then one indented line per
+// parameter with its default (the -policy / -sweep-policies grammar).
+func printPolicyRoster(w io.Writer) {
+	for _, info := range policy.Known() {
+		name := info.Kind
+		if len(info.Aliases) > 0 {
+			name += " (" + strings.Join(info.Aliases, ", ") + ")"
+		}
+		fmt.Fprintf(w, "%-24s %s\n", name, info.Summary)
+		for _, p := range info.Params {
+			fmt.Fprintf(w, "    %-10s default %-8s %s\n", p.Name+"=", p.Default, p.Doc)
+		}
 	}
 }
 
@@ -386,9 +428,14 @@ type sweepArgs struct {
 	// workload, when set, pins the sweep's workload axis to one parsed
 	// -workload spec (multi-trial statistics for a workload cell).
 	workload string
-	// workloadFamily appends the standing WorkloadSweep matrix after the
-	// main sweep — the default -sweep shape BENCH_sweep.json records.
+	// workloadFamily appends the standing WorkloadSweep matrix and the
+	// AdaptiveSweep policy family after the main sweep — the default
+	// -sweep shape BENCH_sweep.json records.
 	workloadFamily bool
+	// fitnessWeights, when non-empty, prints a fitness-ranked cell table
+	// after the report ("default" = standing weights). Display-only: it
+	// never changes the report bytes.
+	fitnessWeights string
 	swRegions      string
 	swLosses       string
 	swChurns       string
@@ -558,14 +605,16 @@ func runSweep(a sweepArgs) error {
 	}
 
 	// The default -sweep shape is the standing matrix plus the workload
-	// family, run through one pool into one report; the family's cells
-	// append after every DefaultSweep cell, so the committed record grows
-	// without a single pre-workload cell moving or re-byting.
+	// and adaptive-policy families, run through one pool into one report;
+	// each family's cells append after all earlier cells, so the committed
+	// record grows without a single pre-existing cell moving or re-byting.
 	sweeps := []repro.Sweep{sw}
 	if a.workloadFamily {
 		wf := repro.WorkloadSweep()
 		wf.Shards = a.shards
-		sweeps = append(sweeps, wf)
+		af := repro.AdaptiveSweep()
+		af.Shards = a.shards
+		sweeps = append(sweeps, wf, af)
 	}
 	rep, err := repro.RunSweeps(repro.SweepOptions{
 		Trials:   a.trials,
@@ -594,6 +643,34 @@ func runSweep(a sweepArgs) error {
 		}
 		fmt.Fprintf(os.Stderr, "rrmp-sim: wrote %s (%d cells × %d trials)\n",
 			a.outPath, len(rep.Cells), rep.Trials)
+	}
+	if a.fitnessWeights != "" && !a.quiet {
+		if err := printFitness(os.Stdout, rep, a.fitnessWeights); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printFitness prints the fitness-ranked cell table -fitness-weights asks
+// for. Pure display over the finished report: the report bytes (stdout
+// JSON and -out file) are already written when this runs.
+func printFitness(w io.Writer, rep repro.SweepReport, spec string) error {
+	if spec == "default" {
+		spec = ""
+	}
+	weights, err := repro.ParseFitnessWeights(spec)
+	if err != nil {
+		return err
+	}
+	rows := repro.SweepFitness(rep, weights)
+	fmt.Fprintf(w, "\nfitness ranking (weights: delivery=%g bytesec=%g unrec=%g recovery=%g; costs normalized over %d cells)\n",
+		weights.Delivery, weights.ByteSeconds, weights.Unrecoverable, weights.RecoveryMs, len(rows))
+	fmt.Fprintf(w, "%4s %8s %9s %14s %13s %14s  %s\n",
+		"rank", "fitness", "delivery", runner.MKUnrecoverable, "recovery(ms)", "buffer(B·s)", "cell")
+	for i, r := range rows {
+		fmt.Fprintf(w, "%4d %8.3f %8.2f%% %14.1f %13.1f %14.0f  %s\n",
+			i+1, r.Score, 100*r.Delivery, r.Unrecoverable, r.RecoveryMs, r.ByteSeconds, r.Name)
 	}
 	return nil
 }
@@ -1101,18 +1178,9 @@ func run(a singleArgs) error {
 			opts = append(opts, repro.WithDataLoss(loss))
 		}
 	}
-	switch policyName {
-	case "two-phase":
-		opts = append(opts, repro.WithPolicy(repro.PolicyTwoPhase))
-	case "fixed":
-		opts = append(opts, repro.WithPolicy(repro.PolicyFixedHold), repro.WithFixedHold(a.hold))
-	case "all":
-		opts = append(opts, repro.WithPolicy(repro.PolicyBufferAll))
-	case "hash":
-		opts = append(opts, repro.WithPolicy(repro.PolicyHashElect))
-	default:
-		return fmt.Errorf("unknown policy %q", policyName)
-	}
+	// The registry owns the policy grammar; a bad spec fails inside
+	// NewGroup with the registry's known-kinds menu in the error.
+	opts = append(opts, repro.WithPolicySpec(policyName), repro.WithFixedHold(a.hold))
 	// Tracing routes through the cluster's Tracer hook: -trace streams to
 	// stderr (the historic behaviour), -trace-out to a file, and both at
 	// once fan out to both sinks.

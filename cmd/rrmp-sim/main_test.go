@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/policy"
 )
 
 // TestSweepReportByteIdenticalAcrossParallelism runs the full -sweep code
@@ -651,9 +652,10 @@ func TestWorkloadRecordReplayByteIdentical(t *testing.T) {
 }
 
 // TestSweepWorkloadFamilyAppends pins the default -sweep shape: the
-// workload family's cells append after every cell of the base matrix,
-// carry the wl= token and the workload-only keys, and leave the base
-// cells' names and key sets untouched.
+// workload family's cells (18) and the adaptive-policy family's (6)
+// append after every cell of the base matrix, carry the wl= token and
+// the workload-only keys, and leave the base cells' names and key sets
+// untouched.
 func TestSweepWorkloadFamilyAppends(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "sweep.json")
 	if err := runSweep(sweepArgs{
@@ -701,9 +703,18 @@ func TestSweepWorkloadFamilyAppends(t *testing.T) {
 			}
 		}
 	}
-	if firstWL < 0 || len(rep.Cells)-firstWL != 18 {
-		t.Fatalf("workload family has %d cells starting at %d; want 18 appended",
+	if firstWL < 0 || len(rep.Cells)-firstWL != 24 {
+		t.Fatalf("workload+adaptive families have %d cells starting at %d; want 18+6 appended",
 			len(rep.Cells)-firstWL, firstWL)
+	}
+	adaptiveCells := 0
+	for _, cell := range rep.Cells[firstWL:] {
+		if strings.Contains(cell.Name, " policy=adaptive") {
+			adaptiveCells++
+		}
+	}
+	if adaptiveCells != 2 {
+		t.Fatalf("adaptive family has %d adaptive cells, want 2", adaptiveCells)
 	}
 	vodCells := 0
 	for _, cell := range rep.Cells[firstWL:] {
@@ -766,5 +777,85 @@ func TestParseDurations(t *testing.T) {
 	}
 	if _, err := parseDurations("1s,bogus"); err == nil {
 		t.Fatal("bogus duration accepted")
+	}
+}
+
+// TestListPoliciesRoster smoke-tests the -list-policies listing against
+// the registry: every canonical kind, alias and parameter (with its
+// default) must appear, so the flag and the registry cannot drift apart.
+func TestListPoliciesRoster(t *testing.T) {
+	var buf bytes.Buffer
+	printPolicyRoster(&buf)
+	out := buf.String()
+	for _, info := range policy.Known() {
+		if !strings.Contains(out, info.Kind) || !strings.Contains(out, info.Summary) {
+			t.Fatalf("roster lacks kind %q or its summary:\n%s", info.Kind, out)
+		}
+		for _, alias := range info.Aliases {
+			if !strings.Contains(out, alias) {
+				t.Fatalf("roster lacks alias %q of %q:\n%s", alias, info.Kind, out)
+			}
+		}
+		for _, p := range info.Params {
+			if !strings.Contains(out, p.Name+"=") || !strings.Contains(out, p.Default) {
+				t.Fatalf("roster lacks parameter %q (default %q) of %q:\n%s",
+					p.Name, p.Default, info.Kind, out)
+			}
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < len(policy.Known()) {
+		t.Fatalf("roster has %d lines for %d kinds", lines, len(policy.Known()))
+	}
+}
+
+// TestFitnessTableDisplayOnly pins -fitness-weights as pure display: the
+// table renders one ranked row per cell and rejects malformed weight
+// specs, and the report written to -out is byte-identical with and
+// without the flag.
+func TestFitnessTableDisplayOnly(t *testing.T) {
+	runOnce := func(dir string, weights string) (string, *bytes.Buffer) {
+		t.Helper()
+		out := filepath.Join(dir, "sweep.json")
+		if err := runSweep(sweepArgs{
+			regionsCSV: "8", loss: 0.2, c: 6, lambda: 1, hold: 500 * time.Millisecond,
+			msgs: 5, gap: 20 * time.Millisecond, horizon: 2 * time.Second,
+			trials: 2, seed: 1, outPath: out, quiet: true,
+			policy: "two-phase",
+		}); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep repro.SweepReport
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			t.Fatal(err)
+		}
+		var table bytes.Buffer
+		if weights != "" {
+			if err := printFitness(&table, rep, weights); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return string(blob), &table
+	}
+	plain, _ := runOnce(t.TempDir(), "")
+	scored, table := runOnce(t.TempDir(), "default")
+	if plain != scored {
+		t.Fatal("-fitness-weights changed the report bytes")
+	}
+	if !strings.Contains(table.String(), "fitness ranking") || !strings.Contains(table.String(), "policy=two-phase") {
+		t.Fatalf("fitness table lacks ranking or cell name:\n%s", table.String())
+	}
+	var rep repro.SweepReport
+	if err := json.Unmarshal([]byte(plain), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := printFitness(io.Discard, rep, "delivery=x"); err == nil {
+		t.Fatal("malformed weight spec accepted")
+	}
+	if err := printFitness(io.Discard, rep, "bogus=1"); err == nil {
+		t.Fatal("unknown weight key accepted")
 	}
 }

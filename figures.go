@@ -29,6 +29,8 @@ type (
 	OverheadResult = runner.OverheadResult
 	// VoDResult is an A7 row.
 	VoDResult = runner.VoDResult
+	// AdaptiveResult is an A8 row.
+	AdaptiveResult = runner.AdaptiveResult
 	// SearchConfig parameterizes RunSearch.
 	SearchConfig = runner.SearchConfig
 	// SearchResult is RunSearch's aggregate.
@@ -115,4 +117,11 @@ func AblationStabilityTraffic(seed uint64) ([]OverheadResult, error) {
 // fixed-hold and buffer-all policies.
 func AblationVoDPrefixPush(seed uint64) ([]VoDResult, error) {
 	return runner.AblationVoDPrefixPush(seed)
+}
+
+// AblationAdaptiveDemand runs A8: the diurnal-burst workload over a lossy
+// group under the two-phase, fixed-hold and adaptive policies, ranked by
+// the default-weight fitness score.
+func AblationAdaptiveDemand(seed uint64) ([]AdaptiveResult, error) {
+	return runner.AblationAdaptiveDemand(seed)
 }

@@ -247,6 +247,9 @@ func (b *Buffer) Store(id wire.MessageID, payload []byte) *Entry {
 	b.bytes += len(e.Payload)
 	b.account(now)
 
+	// The store event reaches the policy before Hold is consulted, so a
+	// demand-aware hold already reflects this message.
+	b.cfg.Policy.ObserveStore(id, now)
 	hold, _ := b.cfg.Policy.Hold(id)
 	if hold > 0 {
 		e.timer = b.cfg.Sched.After(hold, e.fire)
@@ -284,7 +287,9 @@ func (b *Buffer) OnRequest(id wire.MessageID) bool {
 	if !ok {
 		return false
 	}
-	e.LastRequest = b.cfg.Sched.Now()
+	now := b.cfg.Sched.Now()
+	e.LastRequest = now
+	b.cfg.Policy.ObserveRequest(id, now)
 	return true
 }
 
@@ -377,7 +382,7 @@ func (b *Buffer) reserve(need int) bool {
 	for b.bytes+need > b.cfg.ByteBudget {
 		var victim *Entry
 		b.idx.each(func(e *Entry) {
-			if victim == nil || displacedBefore(e, victim) {
+			if victim == nil || b.cfg.Policy.DisplacedBefore(e, victim) {
 				victim = e
 			}
 		})
@@ -389,10 +394,14 @@ func (b *Buffer) reserve(need int) bool {
 	return b.bytes+need <= b.cfg.ByteBudget
 }
 
-// displacedBefore is the strict total displacement order pressure
-// eviction follows. A total order makes the minimum scan independent of
-// index iteration order, so both index implementations evict identically.
-func displacedBefore(a, c *Entry) bool {
+// DefaultDisplacedBefore is the historic strict total displacement order
+// pressure eviction follows: short-term entries before long-term, the
+// short-term longest-idle (oldest LastRequest) first, long-term copies
+// oldest-promoted first, ties broken on message id. A total order makes
+// the minimum scan independent of index iteration order, so both index
+// implementations evict identically. Policies that do not override
+// DisplacedBefore (via PolicyBase) use exactly this order.
+func DefaultDisplacedBefore(a, c *Entry) bool {
 	if (a.State == StateLongTerm) != (c.State == StateLongTerm) {
 		return a.State != StateLongTerm
 	}
@@ -484,6 +493,7 @@ func (b *Buffer) evict(e *Entry, reason EvictReason) {
 		b.longCount--
 	}
 	b.evicted[reason]++
+	b.cfg.Policy.ObserveEvict(e.ID, reason)
 	b.account(b.cfg.Sched.Now())
 	if b.cfg.OnEvict != nil {
 		b.cfg.OnEvict(e, reason)

@@ -21,7 +21,15 @@ const (
 
 // Policy parameterizes buffer retention. Implementations must be
 // deterministic given the same rng stream; all randomness flows through the
-// OnIdle rng argument.
+// OnIdle rng argument (or a privately bound stream, see RngBinder).
+//
+// Beyond the original Hold/OnIdle/LongTermTTL triple, the contract is
+// observation-fed: the buffer reports store, request and eviction events so
+// a policy can react to per-message demand, and the policy owns the
+// pressure-eviction order that used to be hard-coded in Buffer. Embed
+// PolicyBase to get no-op observers and the historic displacement order;
+// the four legacy policies do, and behave byte-identically to the narrow
+// contract.
 type Policy interface {
 	// Name identifies the policy in metrics and experiment output.
 	Name() string
@@ -35,12 +43,49 @@ type Policy interface {
 	OnIdle(id wire.MessageID, r *rng.Source) Decision
 	// LongTermTTL bounds unused long-term retention; zero means forever.
 	LongTermTTL() time.Duration
+
+	// ObserveStore tells the policy a message entered the buffer at time
+	// at. It fires before Hold is consulted for the same message, so a
+	// demand-aware hold already reflects the store.
+	ObserveStore(id wire.MessageID, at time.Duration)
+	// ObserveRequest tells the policy a retransmission request (or any
+	// other buffer use — NAK demand) touched a buffered message at time at.
+	ObserveRequest(id wire.MessageID, at time.Duration)
+	// ObserveEvict tells the policy a message left the buffer and why.
+	// Stability-driven trims (EvictStable) are how the RMTP refetch
+	// discipline surfaces through this same contract.
+	ObserveEvict(id wire.MessageID, reason EvictReason)
+	// DisplacedBefore is the strict total order pressure eviction follows
+	// under Config.ByteBudget: true means a is displaced before c. It must
+	// be a strict total order over live entries so the victim scan is
+	// independent of index iteration order. DefaultDisplacedBefore is the
+	// historic order.
+	DisplacedBefore(a, c *Entry) bool
 }
+
+// PolicyBase supplies the widened contract's default behaviour: no-op
+// observers and the historic displacement order. Embed it by value — it
+// carries no state — and override only what the policy cares about.
+type PolicyBase struct{}
+
+// ObserveStore implements Policy: the default ignores store events.
+func (PolicyBase) ObserveStore(wire.MessageID, time.Duration) {}
+
+// ObserveRequest implements Policy: the default ignores request feedback.
+func (PolicyBase) ObserveRequest(wire.MessageID, time.Duration) {}
+
+// ObserveEvict implements Policy: the default ignores evictions.
+func (PolicyBase) ObserveEvict(wire.MessageID, EvictReason) {}
+
+// DisplacedBefore implements Policy with the historic pressure order.
+func (PolicyBase) DisplacedBefore(a, c *Entry) bool { return DefaultDisplacedBefore(a, c) }
 
 // TwoPhase is the paper's buffer management algorithm (§3): feedback-based
 // short-term buffering with idle threshold T, then randomized long-term
 // election with probability C/n.
 type TwoPhase struct {
+	PolicyBase
+
 	// T is the idle threshold. The paper recommends a small multiple of the
 	// maximum intra-region round-trip time (§3.1; 4× in the evaluation).
 	T time.Duration
@@ -102,6 +147,8 @@ var _ Policy = (*TwoPhase)(nil)
 // Multicast policy the paper contrasts with (§2): no feedback, no long-term
 // phase.
 type FixedHold struct {
+	PolicyBase
+
 	// D is the constant retention period.
 	D time.Duration
 }
@@ -123,7 +170,7 @@ var _ Policy = (*FixedHold)(nil)
 // BufferAll retains every message until an external authority (a stability
 // detector, or session teardown) removes it — the conservative strategy of
 // §1 and the RMTP repair-server behaviour.
-type BufferAll struct{}
+type BufferAll struct{ PolicyBase }
 
 // Name implements Policy.
 func (BufferAll) Name() string { return "buffer-all" }
@@ -148,6 +195,8 @@ var _ Policy = BufferAll{}
 // locally, avoiding the search protocol at the cost of per-lookup hashing
 // and with no way to adapt to membership dynamics.
 type HashElect struct {
+	PolicyBase
+
 	// T is the short-term idle threshold, as in TwoPhase.
 	T time.Duration
 	// C is the number of deterministic bufferers per region.

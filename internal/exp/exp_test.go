@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	policyspec "repro/internal/policy"
 	"repro/internal/rng"
 )
 
@@ -210,7 +211,7 @@ func TestSweepExpansionDefaults(t *testing.T) {
 // TestRunSweepPairsSeedsAcrossCells verifies the common-random-numbers
 // design: trial i sees the same seed in every cell.
 func TestRunSweepPairsSeedsAcrossCells(t *testing.T) {
-	sw := Sweep{Policies: []string{"a", "b", "c"}}
+	sw := Sweep{Policies: []string{"two-phase", "fixed", "all"}}
 	var mu sync.Mutex
 	seeds := map[string]map[uint64]bool{} // policy -> set of seeds
 	rep, err := RunSweep(Options{Trials: 5, Parallel: 4, BaseSeed: 3}, sw,
@@ -229,10 +230,10 @@ func TestRunSweepPairsSeedsAcrossCells(t *testing.T) {
 	if len(rep.Cells) != 3 || rep.Trials != 5 || rep.Schema != ReportSchema {
 		t.Fatalf("report shape wrong: %d cells, %d trials, schema %q", len(rep.Cells), rep.Trials, rep.Schema)
 	}
-	want := fmt.Sprint(seeds["a"])
-	for _, p := range []string{"b", "c"} {
+	want := fmt.Sprint(seeds["two-phase"])
+	for _, p := range []string{"fixed", "all"} {
 		if fmt.Sprint(seeds[p]) != want {
-			t.Fatalf("cell %q saw different trial seeds than cell \"a\"", p)
+			t.Fatalf("cell %q saw different trial seeds than cell \"two-phase\"", p)
 		}
 	}
 	for i, cell := range rep.Cells {
@@ -246,16 +247,51 @@ func TestRunSweepPairsSeedsAcrossCells(t *testing.T) {
 }
 
 func TestRunSweepErrorNamesCell(t *testing.T) {
-	sw := Sweep{Policies: []string{"ok", "bad"}}
+	sw := Sweep{Policies: []string{"two-phase", "fixed"}}
 	_, err := RunSweep(Options{Trials: 2, Parallel: 2, BaseSeed: 1}, sw,
 		func(sc Scenario, _ uint64) (map[string]float64, error) {
-			if sc.Policy == "bad" {
+			if sc.Policy == "fixed" {
 				return nil, errors.New("kaput")
 			}
 			return map[string]float64{"x": 1}, nil
 		})
-	if err == nil || !strings.Contains(err.Error(), "policy=bad") {
+	if err == nil || !strings.Contains(err.Error(), "policy=fixed") {
 		t.Fatalf("error should name the failing cell: %v", err)
+	}
+}
+
+// TestRunSweepValidatesPolicies verifies the expansion-time policy check:
+// a typo'd policy axis fails before any trial runs, with the registry's
+// known-kind menu in the error and policy.UnknownKindError reachable via
+// errors.As.
+func TestRunSweepValidatesPolicies(t *testing.T) {
+	sw := Sweep{Policies: []string{"two-phase", "fixd"}}
+	ran := false
+	_, err := RunSweep(Options{Trials: 1, BaseSeed: 1}, sw,
+		func(Scenario, uint64) (map[string]float64, error) {
+			ran = true
+			return map[string]float64{"x": 1}, nil
+		})
+	if err == nil {
+		t.Fatal("sweep with unknown policy should fail")
+	}
+	if ran {
+		t.Fatal("no trial should run when validation fails")
+	}
+	var unknown *policyspec.UnknownKindError
+	if !errors.As(err, &unknown) || unknown.Kind != "fixd" {
+		t.Fatalf("want UnknownKindError for %q, got: %v", "fixd", err)
+	}
+	if !strings.Contains(err.Error(), "two-phase") {
+		t.Fatalf("error should list known policies: %v", err)
+	}
+	// Aliases and parameterized specs are valid axis values; rmtp-only
+	// sweeps skip the check entirely (their axis collapses to "server").
+	if err := (Sweep{Policies: []string{"fixed-hold", "adaptive:tmin=10ms,tmax=50ms"}}).Validate(); err != nil {
+		t.Fatalf("aliased/parameterized policies should validate: %v", err)
+	}
+	if err := (Sweep{Protocols: []string{"rmtp"}, Policies: []string{"anything"}}).Validate(); err != nil {
+		t.Fatalf("rmtp-only sweep should skip policy validation: %v", err)
 	}
 }
 

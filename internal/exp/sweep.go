@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	policyspec "repro/internal/policy"
 	"repro/internal/workload"
 )
 
@@ -76,7 +77,10 @@ type Scenario struct {
 	// heal event reconnects the halves. Zero with PartitionAt set means
 	// the partition never heals within the run.
 	PartitionDur time.Duration `json:"partition_dur_ns,omitempty"`
-	// Policy is the buffering policy: two-phase|fixed|all|hash.
+	// Policy is the buffering policy spec — a canonical registry kind
+	// (two-phase|fixed|all|hash|adaptive), a historic alias, or a
+	// parameterized spec like "adaptive:tmin=20ms,tmax=200ms" (see
+	// internal/policy). RMTP cells carry the placeholder "server".
 	Policy string `json:"policy"`
 	// FixedHold is the retention for Policy "fixed" (default 500 ms).
 	FixedHold time.Duration `json:"fixed_hold_ns,omitempty"`
@@ -432,6 +436,24 @@ func WorkloadSweep() Sweep {
 	}
 }
 
+// AdaptiveSweep returns the demand-aware policy family appended after
+// WorkloadSweep in BENCH_sweep.json: the diurnal-burst workload — the
+// regime whose hot windows concentrate request demand on a few sources —
+// over a two-region topology at both loss rates, contrasting the adaptive
+// policy against the two legacy retention disciplines it interpolates
+// between (ablation A8 reads the same contrast at one loss rate). RRMP
+// only: the adaptive contract has no meaning for the rmtp repair server.
+// A separate sweep so the committed 594-cell matrix keeps its bytes.
+func AdaptiveSweep() Sweep {
+	return Sweep{
+		Workloads: []*workload.Spec{BurstyWorkload()},
+		Regions:   [][]int{{30, 30}},
+		Losses:    []float64{0.05, 0.20},
+		LossMode:  "hash",
+		Policies:  []string{"two-phase", "fixed", "adaptive"},
+	}
+}
+
 // Expand returns the cartesian product in a fixed order: the workload
 // axis outermost (the legacy single-sender shape — nil — before any
 // multi-client family), then the protocol
@@ -465,9 +487,16 @@ func (sw Sweep) Expand() []Scenario {
 	if len(partitions) == 0 {
 		partitions = []time.Duration{0}
 	}
-	policies := sw.Policies
+	// Policy tokens canonicalize through the registry, so a historic alias
+	// ("fixed-hold") and its canonical kind ("fixed") name the same cell.
+	// Committed matrices already use canonical tokens; their bytes do not
+	// change.
+	policies := make([]string, len(sw.Policies))
+	for i, p := range sw.Policies {
+		policies[i] = policyspec.Canonical(p)
+	}
 	if len(policies) == 0 {
-		policies = []string{"two-phase"}
+		policies = []string{policyspec.KindTwoPhase}
 	}
 	msgs := sw.Msgs
 	if msgs <= 0 {
@@ -589,6 +618,37 @@ func (sw Sweep) Expand() []Scenario {
 	return out
 }
 
+// Validate checks the sweep's policy axis against the registry before any
+// cell runs, so a typo fails at expansion time with the known-policy menu
+// (policy.UnknownKindError via errors.As) instead of deep inside the
+// runner on some mid-sweep trial. Sweeps whose protocols are all "rmtp"
+// skip the check: their policy axis collapses to the "server" placeholder.
+func (sw Sweep) Validate() error {
+	protocols := sw.Protocols
+	if len(protocols) == 0 {
+		protocols = []string{""}
+	}
+	rrmpFamily := false
+	for _, p := range protocols {
+		if p == "" || p == "rrmp" {
+			rrmpFamily = true
+		}
+	}
+	if !rrmpFamily {
+		return nil
+	}
+	policies := sw.Policies
+	if len(policies) == 0 {
+		policies = []string{policyspec.KindTwoPhase}
+	}
+	for _, p := range policies {
+		if _, err := policyspec.Parse(p); err != nil {
+			return fmt.Errorf("exp: sweep policy %q: %w", p, err)
+		}
+	}
+	return nil
+}
+
 // ScenarioFunc runs one seeded trial of one scenario and returns its
 // metrics. internal/runner provides the canonical implementation.
 type ScenarioFunc func(sc Scenario, seed uint64) (map[string]float64, error)
@@ -649,6 +709,9 @@ func RunSweeps(o Options, sweeps []Sweep, run ScenarioFunc) (Report, error) {
 	o = o.normalized()
 	var scenarios []Scenario
 	for _, sw := range sweeps {
+		if err := sw.Validate(); err != nil {
+			return Report{}, err
+		}
 		scenarios = append(scenarios, sw.Expand()...)
 	}
 	results := make([][]map[string]float64, len(scenarios))

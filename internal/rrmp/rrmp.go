@@ -34,6 +34,11 @@ const (
 	bufferStreamLabel = 0x6275666665726e67
 	// gossipFDStreamLabel: "gossipfd" — the failure detector's stream.
 	gossipFDStreamLabel = 0x676f737369706664
+	// policyStreamLabel: "policyrg" — the private stream bound to policies
+	// implementing core.RngBinder (demand-aware election draws). Deriving
+	// it never advances the parent, so members running legacy policies
+	// draw identically whether or not this label exists.
+	policyStreamLabel = 0x706f6c6963797267
 )
 
 // Transport lets a member send PDUs. Implementations must deliver
@@ -239,6 +244,9 @@ func NewMember(cfg Config) *Member {
 		Bufferers(id wire.MessageID) []topology.NodeID
 	}); ok {
 		m.locator = loc
+	}
+	if binder, ok := policy.(core.RngBinder); ok {
+		binder.BindRng(cfg.Rng.Split(policyStreamLabel))
 	}
 	m.buf = core.NewBuffer(core.Config{
 		Policy:      policy,

@@ -1,0 +1,23 @@
+package runner
+
+import "repro/internal/exp"
+
+// SweepFitnessKeys binds the generic fitness objectives to the registered
+// metric keys sweep cells report: delivery ratio up, buffer byte-seconds,
+// unrecoverable count and mean recovery latency down.
+func SweepFitnessKeys() exp.FitnessKeys {
+	return exp.FitnessKeys{
+		Delivery:      MKDeliveryRatio,
+		ByteSeconds:   MKBufferIntegralByteSec,
+		Unrecoverable: MKUnrecoverable,
+		RecoveryMs:    MKMeanRecoveryMs,
+	}
+}
+
+// SweepFitness scores every cell of a sweep report against the others
+// under the given weights and returns the ranking, best first. Cost
+// normalization spans the whole report, so mixed families rank against
+// report-wide maxima — filter rep.Cells first to compare within a family.
+func SweepFitness(rep exp.Report, w exp.FitnessWeights) []exp.FitnessRow {
+	return exp.FitnessFromCells(rep.Cells, SweepFitnessKeys(), w)
+}

@@ -1,0 +1,38 @@
+package runner
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/rrmp"
+	"repro/internal/topology"
+)
+
+// PolicyFactory adapts a parsed policy spec into the per-member factory
+// ClusterConfig.Policy consumes. The two-phase kind maps to a nil factory:
+// the member then builds the paper's policy itself from its
+// defaults-applied parameters — the historic path every committed report
+// pins. fixedHold is the scenario-level hold the fixed kind falls back to
+// when the spec carries no explicit hold.
+func PolicyFactory(spec policy.Spec, fixedHold time.Duration) func(view topology.View, p rrmp.Params) core.Policy {
+	if spec.Kind == policy.KindTwoPhase {
+		return nil
+	}
+	return func(view topology.View, p rrmp.Params) core.Policy {
+		env := policy.Env{
+			Self:          view.Self,
+			RegionSize:    view.NumPeers() + 1,
+			IdleThreshold: p.IdleThreshold,
+			C:             p.C,
+			LongTermTTL:   p.LongTermTTL,
+			FixedHold:     fixedHold,
+		}
+		// Only the hash kind reads the region slice; skipping it elsewhere
+		// keeps the per-member setup path allocation-free.
+		if spec.Kind == policy.KindHash {
+			env.Region = append([]topology.NodeID{view.Self}, view.Peers()...)
+		}
+		return spec.Build(env)
+	}
+}

@@ -1,0 +1,63 @@
+package runner
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/rrmp"
+	"repro/internal/topology"
+)
+
+// benchView builds one member-sized region view for the factory path.
+func benchView(tb testing.TB) topology.View {
+	tb.Helper()
+	topo, err := topology.SingleRegion(32)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	view, err := topo.ViewOf(1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return view
+}
+
+// BenchmarkPolicySpecParse tracks the registry parser — it runs once per
+// scenario cell, so it only needs to stay cheap, not alloc-free.
+func BenchmarkPolicySpecParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := policy.Parse("adaptive:tmin=20ms,tmax=200ms,target=2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyFactoryBuild tracks the per-member policy construction
+// the factory closure performs during cluster setup, for the registry
+// kinds the sweep axes exercise. The two-phase kind is absent by design:
+// it maps to a nil factory and rides the member fallback, adding zero
+// work to the setup path.
+func BenchmarkPolicyFactoryBuild(b *testing.B) {
+	view := benchView(b)
+	params := rrmp.Params{
+		IdleThreshold: 40 * time.Millisecond, C: 6,
+		LongTermTTL: time.Minute,
+	}
+	for _, spec := range []string{"fixed", "all", "hash", "adaptive"} {
+		sp, err := policy.Parse(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fn := PolicyFactory(sp, 500*time.Millisecond)
+		b.Run(spec, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if fn(view, params) == nil {
+					b.Fatal("factory built no policy")
+				}
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/netsim"
+	policyspec "repro/internal/policy"
 	"repro/internal/rng"
 	"repro/internal/rrmp"
 	"repro/internal/sim"
@@ -340,24 +341,11 @@ func runScenario(sc exp.Scenario, seed uint64, timeline workload.Timeline) (map[
 	if hold <= 0 {
 		hold = 500 * time.Millisecond
 	}
-	var policy func(view topology.View, p rrmp.Params) core.Policy
-	switch sc.Policy {
-	case "", "two-phase":
-		policy = nil // the member builds the paper's policy itself
-	case "fixed":
-		policy = func(topology.View, rrmp.Params) core.Policy {
-			return &core.FixedHold{D: hold}
-		}
-	case "all":
-		policy = func(topology.View, rrmp.Params) core.Policy { return core.BufferAll{} }
-	case "hash":
-		policy = func(view topology.View, p rrmp.Params) core.Policy {
-			region := append([]topology.NodeID{view.Self}, view.Peers()...)
-			return core.NewHashElect(p.IdleThreshold, int(p.C), view.Self, region, p.LongTermTTL)
-		}
-	default:
-		return nil, fmt.Errorf("runner: unknown scenario policy %q", sc.Policy)
+	spec, err := policyspec.Parse(sc.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("runner: scenario: %w", err)
 	}
+	policyFn := PolicyFactory(spec, hold)
 
 	params := rrmp.DefaultParams()
 	if sc.C > 0 {
@@ -381,7 +369,7 @@ func runScenario(sc exp.Scenario, seed uint64, timeline workload.Timeline) (map[
 		Params: params,
 		Seed:   seed,
 		Loss:   loss,
-		Policy: policy,
+		Policy: policyFn,
 		Shards: effectiveShards(sc),
 	})
 	if err != nil {

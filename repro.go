@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	policyspec "repro/internal/policy"
 	"repro/internal/rng"
 	"repro/internal/rrmp"
 	"repro/internal/runner"
@@ -62,6 +63,7 @@ type config struct {
 	hashLoss    bool
 	blackouts   []int
 	policy      PolicyKind
+	policySpec  string
 	fixedHold   time.Duration
 	tracer      trace.Tracer
 	shards      int
@@ -157,6 +159,16 @@ func WithRegionBlackout(region int) Option {
 // int(hold) ignored and c bufferers = Params.C.
 func WithPolicy(kind PolicyKind) Option {
 	return func(c *config) { c.policy = kind }
+}
+
+// WithPolicySpec selects the buffering policy by registry spec string,
+// e.g. "two-phase", "fixed:hold=200ms" or
+// "adaptive:tmin=20ms,tmax=200ms,target=2" — the same grammar rrmp-sim's
+// -policy flag and sweep policy axes accept (see rrmp-sim -list-policies
+// for the roster). A non-empty spec takes precedence over WithPolicy; an
+// unknown or malformed spec surfaces as a NewGroup error.
+func WithPolicySpec(spec string) Option {
+	return func(c *config) { c.policySpec = spec }
 }
 
 // WithFixedHold sets the retention for PolicyFixedHold (default 500 ms).
@@ -293,24 +305,26 @@ func NewGroup(opts ...Option) (*Group, error) {
 		loss = &blackoutLoss{victims: victims, inner: loss}
 	}
 
-	var policy func(view topology.View, p rrmp.Params) core.Policy
-	switch cfg.policy {
-	case PolicyTwoPhase:
-		policy = nil // the member builds the paper's policy itself
-	case PolicyFixedHold:
-		policy = func(topology.View, rrmp.Params) core.Policy {
-			return &core.FixedHold{D: cfg.fixedHold}
+	specStr := cfg.policySpec
+	if specStr == "" {
+		switch cfg.policy {
+		case PolicyTwoPhase:
+			specStr = policyspec.KindTwoPhase
+		case PolicyFixedHold:
+			specStr = policyspec.KindFixed
+		case PolicyBufferAll:
+			specStr = policyspec.KindAll
+		case PolicyHashElect:
+			specStr = policyspec.KindHash
+		default:
+			return nil, fmt.Errorf("repro: unknown policy kind %d", cfg.policy)
 		}
-	case PolicyBufferAll:
-		policy = func(topology.View, rrmp.Params) core.Policy { return core.BufferAll{} }
-	case PolicyHashElect:
-		policy = func(view topology.View, p rrmp.Params) core.Policy {
-			region := append([]topology.NodeID{view.Self}, view.Peers()...)
-			return core.NewHashElect(p.IdleThreshold, int(p.C), view.Self, region, p.LongTermTTL)
-		}
-	default:
-		return nil, fmt.Errorf("repro: unknown policy kind %d", cfg.policy)
 	}
+	spec, err := policyspec.Parse(specStr)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	policy := runner.PolicyFactory(spec, cfg.fixedHold)
 
 	shards := cfg.shards
 	if cfg.lossP > 0 && !cfg.hashLoss {

@@ -27,6 +27,10 @@ type (
 	TrialAggregate = exp.Aggregate
 	// PolicySummary is a multi-trial A1 row.
 	PolicySummary = runner.PolicySummary
+	// FitnessWeights weight the sweep fitness score's four objectives.
+	FitnessWeights = exp.FitnessWeights
+	// FitnessRow is one candidate's fitness score plus its raw objectives.
+	FitnessRow = exp.FitnessRow
 	// LambdaSummary is a multi-trial A5 row.
 	LambdaSummary = runner.LambdaSummary
 	// TreeShape is a balanced multi-level hierarchy cell for sweeps
@@ -79,6 +83,11 @@ func RunScale(o SweepOptions, sweeps ...Sweep) (ScaleReport, error) {
 // after DefaultSweep in BENCH_sweep.json.
 func WorkloadSweep() Sweep { return exp.WorkloadSweep() }
 
+// AdaptiveSweep returns the demand-aware policy family (bursty workload ×
+// loss × {two-phase, fixed, adaptive}, hash-mode loss) appended after the
+// workload family in BENCH_sweep.json.
+func AdaptiveSweep() Sweep { return exp.AdaptiveSweep() }
+
 // MultiClientWorkload returns the workload family's many-publishers cell:
 // 8 Poisson publishers, Zipf-1.1 volume skew, lognormal payloads.
 func MultiClientWorkload() *WorkloadSpec { return exp.MultiClientWorkload() }
@@ -106,6 +115,21 @@ func RunSweep(o SweepOptions, sw Sweep) (SweepReport, error) {
 // a single committed cell.
 func RunSweeps(o SweepOptions, sweeps ...Sweep) (SweepReport, error) {
 	return runner.RunSweeps(o, sweeps...)
+}
+
+// DefaultFitnessWeights returns the standing objective weighting the A8
+// fitness table and rrmp-sim -fitness-weights default to.
+func DefaultFitnessWeights() FitnessWeights { return exp.DefaultFitnessWeights() }
+
+// ParseFitnessWeights parses a "delivery=1,bytesec=0.25,..." weight spec;
+// omitted keys keep their defaults, the empty string is all defaults.
+func ParseFitnessWeights(s string) (FitnessWeights, error) { return exp.ParseFitnessWeights(s) }
+
+// SweepFitness scores a sweep report's cells against each other under the
+// given weights and returns the ranking, best first. Costs normalize over
+// the whole report — filter rep.Cells first to rank within one family.
+func SweepFitness(rep SweepReport, w FitnessWeights) []FitnessRow {
+	return runner.SweepFitness(rep, w)
 }
 
 // RunScenario runs a single scenario cell once with the given seed and
